@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the end-to-end simulator: how much wall-clock time
+//! one simulated network-second costs under each protocol, and how the cost
+//! scales with traffic load.  These are the budgets behind the figure
+//! binaries (a full Fig. 10 sweep is ~50 simulated kiloseconds).
+
+use caem::policy::PolicyKind;
+use caem_simcore::time::Duration;
+use caem_wsnsim::{ScenarioConfig, SimulationRun};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_30s_50nodes");
+    group.sample_size(10);
+    for policy in [
+        PolicyKind::PureLeach,
+        PolicyKind::Scheme1Adaptive,
+        PolicyKind::Scheme2Fixed,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cfg = ScenarioConfig::paper_default(policy, 5.0, 7);
+                    cfg.node_count = 50;
+                    cfg.duration = Duration::from_secs(30);
+                    SimulationRun::new(cfg).run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_load_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_load_scaling_20nodes_20s");
+    group.sample_size(10);
+    for load in [5.0f64, 15.0, 30.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(load as u64), &load, |b, &load| {
+            b.iter(|| {
+                let cfg = ScenarioConfig::small(PolicyKind::Scheme1Adaptive, load, 7)
+                    .with_duration(Duration::from_secs(20));
+                SimulationRun::new(cfg).run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_load_scaling);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! General-purpose scenario runner: simulate any `ScenarioConfig` described
+//! by a JSON file and print (or save) the resulting metrics as JSON.
+//!
+//! This is the "downstream user" entry point: write a config, run it, feed
+//! the JSON into your own plots.
+//!
+//! ```bash
+//! # dump the paper's default scenario as a starting point
+//! cargo run -p caem-bench --release --bin caem_sim -- --dump-default > scenario.json
+//! # edit scenario.json, then run it
+//! cargo run -p caem-bench --release --bin caem_sim -- scenario.json
+//! ```
+
+use caem::policy::PolicyKind;
+use caem_wsnsim::{ScenarioConfig, SimulationRun};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: caem_sim [--dump-default] [scenario.json]\n\
+         \n\
+         --dump-default   print the paper's Table II scenario (Scheme 1, 5 pkt/s) as JSON\n\
+         scenario.json    run the scenario described by the file and print a JSON report"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "--dump-default" {
+        let cfg = ScenarioConfig::paper_default(PolicyKind::Scheme1Adaptive, 5.0, 1);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&cfg).expect("config serializes")
+        );
+        return;
+    }
+    let path = &args[0];
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let cfg: ScenarioConfig = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    cfg.validate();
+    eprintln!(
+        "running {:?} with {} nodes at {:.1} pkt/s for {} (seed {})",
+        cfg.policy,
+        cfg.node_count,
+        cfg.traffic.mean_rate_pps(),
+        cfg.duration,
+        cfg.seed
+    );
+    let result = SimulationRun::new(cfg).run();
+
+    // A flat JSON report: easy to consume from any plotting tool.
+    let report = serde_json::json!({
+        "policy": format!("{:?}", result.policy),
+        "traffic_rate_pps": result.traffic_rate_pps,
+        "seed": result.seed,
+        "end_time_s": result.end_time.as_secs_f64(),
+        "packets_generated": result.perf.generated(),
+        "packets_delivered": result.perf.delivered(),
+        "delivery_rate": result.delivery_rate(),
+        "average_delay_ms": result.perf.average_delay_ms(),
+        "p95_delay_ms": result.perf.delay_quantile_ms(0.95),
+        "throughput_kbps": result.perf.throughput_kbps(),
+        "bursts": result.bursts,
+        "collisions": result.collisions,
+        "nodes_alive": result.nodes_alive(),
+        "network_lifetime_80pct_s": result.network_lifetime_secs(0.8),
+        "first_death_s": result.lifetime.first_death().map(|t| t.as_secs_f64()),
+        "energy_total_j": result.ledger.total(),
+        "energy_per_packet_mj": result.per_packet_energy().millijoules_per_packet(),
+        "queue_stddev_mean": result.fairness.mean_std_dev(),
+        "avg_remaining_energy_series": result.energy.series().samples(),
+        "nodes_alive_series": result.lifetime.alive_series().samples(),
+    });
+    println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+}

@@ -1,0 +1,62 @@
+//! Experiment E7 (long-version extension): network performance versus load —
+//! average packet delay, aggregate throughput and successful delivery rate
+//! for the three protocols.
+//!
+//! The short paper defines these metrics (Section IV-A) but defers their
+//! plots to the technical-report long version; this binary produces them for
+//! the reproduction so the energy/performance trade-off the conclusions talk
+//! about is visible.
+//!
+//! ```bash
+//! cargo run -p caem-bench --release --bin netperf
+//! ```
+
+use caem_bench::{apply_quick, emit, policy_label, quick_mode, seed_from_args};
+use caem_metrics::report::{Column, Table};
+use caem_simcore::time::Duration;
+use caem_wsnsim::sweep::{load_sweep, PAPER_POLICIES};
+use caem_wsnsim::ScenarioConfig;
+
+fn main() {
+    let seed = seed_from_args();
+    let quick = quick_mode();
+    let loads: Vec<f64> = if quick {
+        vec![5.0, 15.0]
+    } else {
+        vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+    };
+    let horizon_s: u64 = if quick { 200 } else { 600 };
+
+    let points = load_sweep(&loads, |policy, load| {
+        apply_quick(ScenarioConfig::paper_default(policy, load, seed), quick)
+            .with_duration(Duration::from_secs(horizon_s))
+    });
+
+    // One table per metric, matching how the long version would plot them.
+    for (metric, extractor) in [
+        (
+            "average packet delay (ms)",
+            Box::new(|r: &caem_wsnsim::SimulationResult| r.perf.average_delay_ms())
+                as Box<dyn Fn(&caem_wsnsim::SimulationResult) -> f64>,
+        ),
+        (
+            "aggregate throughput (kbps)",
+            Box::new(|r: &caem_wsnsim::SimulationResult| r.perf.throughput_kbps()),
+        ),
+        (
+            "successful delivery rate",
+            Box::new(|r: &caem_wsnsim::SimulationResult| r.delivery_rate()),
+        ),
+    ] {
+        let mut columns = vec![Column::new("added_traffic_load_pps", loads.clone())];
+        for &policy in &PAPER_POLICIES {
+            let values: Vec<f64> = points
+                .iter()
+                .map(|p| extractor(p.comparison.get(policy)))
+                .collect();
+            columns.push(Column::new(policy_label(policy), values));
+        }
+        let table = Table::new(format!("E7 — {metric} versus traffic load"), columns);
+        emit(&table);
+    }
+}

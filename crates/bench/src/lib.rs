@@ -1,0 +1,89 @@
+//! # caem-bench
+//!
+//! The experiment harness: shared helpers used by the `fig8` … `fig12`,
+//! `netperf` and `ablation` binaries that regenerate every figure of the
+//! paper's evaluation (Section IV), plus the Criterion micro-benchmarks.
+//!
+//! Run the full figure suite with, e.g.:
+//!
+//! ```bash
+//! cargo run -p caem-bench --release --bin fig8
+//! cargo run -p caem-bench --release --bin fig10
+//! ```
+//!
+//! Every binary prints a plain-text table, a CSV block and the markdown table
+//! recorded in `EXPERIMENTS.md`.  Seeds are fixed so the output is
+//! reproducible; pass a different seed as the first CLI argument to check
+//! robustness.
+
+use caem::policy::PolicyKind;
+use caem_metrics::report::Table;
+use caem_wsnsim::ScenarioConfig;
+
+/// The seed used by all figures unless overridden on the command line.
+pub const DEFAULT_SEED: u64 = 20050612;
+
+/// Human label used in figure output for each protocol, matching the paper's
+/// legend.
+pub fn policy_label(policy: PolicyKind) -> &'static str {
+    match policy {
+        PolicyKind::PureLeach => "pure_LEACH",
+        PolicyKind::Scheme1Adaptive => "CAEM_scheme1_adaptive",
+        PolicyKind::Scheme2Fixed => "CAEM_scheme2_fixed",
+    }
+}
+
+/// Parse the optional seed argument given to a figure binary.
+pub fn seed_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Parse an optional `--quick` flag: figure binaries then run a reduced
+/// scenario (fewer nodes, shorter horizon) so smoke tests stay fast.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Shrink a scenario for `--quick` runs.
+pub fn apply_quick(mut cfg: ScenarioConfig, quick: bool) -> ScenarioConfig {
+    if quick {
+        cfg.node_count = 30;
+        cfg.duration = caem_simcore::time::Duration::from_secs(120);
+    }
+    cfg
+}
+
+/// Print a table in all three formats the harness emits.
+pub fn emit(table: &Table) {
+    println!("{}", table.to_text());
+    println!("--- CSV ---\n{}", table.to_csv());
+    println!("--- Markdown ---\n{}", table.to_markdown());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            policy_label(PolicyKind::PureLeach),
+            policy_label(PolicyKind::Scheme1Adaptive),
+            policy_label(PolicyKind::Scheme2Fixed),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn quick_shrinks_scenario() {
+        let cfg = ScenarioConfig::paper_default(PolicyKind::PureLeach, 5.0, 1);
+        let q = apply_quick(cfg.clone(), true);
+        assert!(q.node_count < cfg.node_count);
+        let same = apply_quick(cfg.clone(), false);
+        assert_eq!(same.node_count, cfg.node_count);
+    }
+}

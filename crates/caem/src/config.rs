@@ -1,0 +1,53 @@
+//! CAEM tuning parameters.
+
+use caem_phy::TransmissionMode;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the CAEM threshold-adjustment mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaemConfig {
+    /// Queue-length sampling period, in packet arrivals (paper: K = 5).
+    pub sampling_interval_packets: u32,
+    /// Queue length at which the adjustment mechanism activates
+    /// (paper: Q_threshold = 15).
+    pub queue_threshold: usize,
+    /// Initial transmission threshold (paper: 2 Mbps for both schemes).
+    pub initial_threshold: TransmissionMode,
+    /// How many classes a single "lower the threshold" step drops
+    /// (paper: 1; exposed for the ablation bench).
+    pub lower_step_classes: usize,
+}
+
+impl Default for CaemConfig {
+    fn default() -> Self {
+        CaemConfig::paper_default()
+    }
+}
+
+impl CaemConfig {
+    /// The paper's parameters: K = 5, Q_threshold = 15, start at 2 Mbps,
+    /// one-class steps.
+    pub fn paper_default() -> Self {
+        CaemConfig {
+            sampling_interval_packets: 5,
+            queue_threshold: 15,
+            initial_threshold: TransmissionMode::Mbps2,
+            lower_step_classes: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = CaemConfig::paper_default();
+        assert_eq!(c.sampling_interval_packets, 5);
+        assert_eq!(c.queue_threshold, 15);
+        assert_eq!(c.initial_threshold, TransmissionMode::Mbps2);
+        assert_eq!(c.lower_step_classes, 1);
+        assert_eq!(CaemConfig::default(), c);
+    }
+}

@@ -1,0 +1,464 @@
+//! The transmission-threshold policies compared in the paper.
+//!
+//! A policy answers one question for the MAC at every decision point: *what
+//! is the minimum ABICM mode (equivalently, CSI level) this node currently
+//! demands before it will spend energy transmitting?*  Plus a secondary one:
+//! *is the buffer under enough pressure that the minimum-burst rule should be
+//! waived?*
+//!
+//! * **Scheme 1** ([`AdaptiveThreshold`]) — the full CAEM proposal: the
+//!   threshold starts at 2 Mbps; once the queue length reaches
+//!   `Q_threshold = 15` the ΔV predictor (sampled every K = 5 arrivals)
+//!   lowers the threshold one class while the queue grows and snaps it back
+//!   to the highest class once the queue drains.
+//! * **Scheme 2** ([`FixedThreshold`]) — threshold fixed at 2 Mbps; maximal
+//!   energy efficiency, no fairness protection.
+//! * **Pure LEACH** ([`NoAdaptation`]) — the non-channel-adaptive baseline:
+//!   no CSI requirement beyond "the link can carry *some* mode".
+
+use caem_phy::TransmissionMode;
+use serde::{Deserialize, Serialize};
+
+use crate::config::CaemConfig;
+use crate::predictor::{QueuePredictor, Trend};
+
+/// Which protocol variant a policy instance implements (for reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Pure LEACH without channel adaptation.
+    PureLeach,
+    /// CAEM-LEACH Scheme 1 (adaptive threshold adjustment).
+    Scheme1Adaptive,
+    /// CAEM-LEACH Scheme 2 (fixed highest threshold).
+    Scheme2Fixed,
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PolicyKind::PureLeach => "pure-LEACH",
+            PolicyKind::Scheme1Adaptive => "CAEM-LEACH Scheme 1 (adaptive threshold)",
+            PolicyKind::Scheme2Fixed => "CAEM-LEACH Scheme 2 (fixed threshold)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The decision interface consumed by the MAC / simulator.
+pub trait ThresholdPolicy {
+    /// Which scheme this is.
+    fn kind(&self) -> PolicyKind;
+
+    /// Notify the policy of a packet arrival; `queue_len` is the buffer
+    /// occupancy *after* the enqueue (or after the drop, if the buffer was
+    /// full — the pressure signal is the same).
+    fn on_packet_arrival(&mut self, queue_len: usize);
+
+    /// Notify the policy that a burst completed; `queue_len` is the occupancy
+    /// after the dequeue.
+    fn on_packets_sent(&mut self, queue_len: usize);
+
+    /// Notify the policy that the node was re-homed to a new cluster head
+    /// (LEACH round change): history about the old link/queue dynamics no
+    /// longer predicts the new one.
+    fn on_round_change(&mut self);
+
+    /// The transmission threshold currently in force.
+    ///
+    /// `Some(mode)` demands the data-channel CSI support at least `mode`;
+    /// `None` means no channel-quality requirement (pure LEACH) — the MAC
+    /// only needs the link to support the lowest mode so the packet can be
+    /// modulated at all.
+    fn current_threshold(&self) -> Option<TransmissionMode>;
+
+    /// The minimum data-channel SNR (dB) the MAC should demand right now.
+    fn required_snr_db(&self) -> f64 {
+        self.current_threshold()
+            .unwrap_or_else(TransmissionMode::lowest)
+            .required_snr_db()
+    }
+
+    /// Should the MAC waive the minimum-burst rule because the buffer is
+    /// under overflow pressure?
+    fn is_urgent(&self, queue_len: usize) -> bool;
+}
+
+/// Pure LEACH: no channel adaptation at all.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NoAdaptation {
+    queue_threshold: usize,
+}
+
+impl NoAdaptation {
+    /// Create the baseline policy.  `queue_threshold` only controls the
+    /// urgency signal (waiving the burst minimum near overflow).
+    pub fn new(queue_threshold: usize) -> Self {
+        NoAdaptation { queue_threshold }
+    }
+}
+
+impl Default for NoAdaptation {
+    fn default() -> Self {
+        NoAdaptation::new(CaemConfig::paper_default().queue_threshold)
+    }
+}
+
+impl ThresholdPolicy for NoAdaptation {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PureLeach
+    }
+    fn on_packet_arrival(&mut self, _queue_len: usize) {}
+    fn on_packets_sent(&mut self, _queue_len: usize) {}
+    fn on_round_change(&mut self) {}
+    fn current_threshold(&self) -> Option<TransmissionMode> {
+        None
+    }
+    fn is_urgent(&self, queue_len: usize) -> bool {
+        queue_len >= self.queue_threshold
+    }
+}
+
+/// Scheme 2: the threshold is pinned at the highest class (2 Mbps).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FixedThreshold {
+    threshold: TransmissionMode,
+    queue_threshold: usize,
+}
+
+impl FixedThreshold {
+    /// Create a fixed-threshold policy at the paper's 2 Mbps.
+    pub fn paper_default() -> Self {
+        FixedThreshold::new(TransmissionMode::Mbps2, CaemConfig::paper_default().queue_threshold)
+    }
+
+    /// Create a fixed-threshold policy at an arbitrary mode (ablations).
+    pub fn new(threshold: TransmissionMode, queue_threshold: usize) -> Self {
+        FixedThreshold {
+            threshold,
+            queue_threshold,
+        }
+    }
+}
+
+impl Default for FixedThreshold {
+    fn default() -> Self {
+        FixedThreshold::paper_default()
+    }
+}
+
+impl ThresholdPolicy for FixedThreshold {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Scheme2Fixed
+    }
+    fn on_packet_arrival(&mut self, _queue_len: usize) {}
+    fn on_packets_sent(&mut self, _queue_len: usize) {}
+    fn on_round_change(&mut self) {}
+    fn current_threshold(&self) -> Option<TransmissionMode> {
+        Some(self.threshold)
+    }
+    fn is_urgent(&self, queue_len: usize) -> bool {
+        // Scheme 2 never relaxes its CSI demand, but it still waives the
+        // minimum-burst rule under pressure (that rule exists only to
+        // amortise start-up energy).
+        queue_len >= self.queue_threshold
+    }
+}
+
+/// Scheme 1: CAEM with adaptive threshold adjustment (Fig. 6 pseudo-code).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveThreshold {
+    config: CaemConfig,
+    predictor: QueuePredictor,
+    current: TransmissionMode,
+    adjustments_down: u64,
+    adjustments_up: u64,
+}
+
+impl AdaptiveThreshold {
+    /// Create a Scheme 1 policy with the given configuration.
+    pub fn new(config: CaemConfig) -> Self {
+        AdaptiveThreshold {
+            predictor: QueuePredictor::new(config.sampling_interval_packets),
+            current: config.initial_threshold,
+            config,
+            adjustments_down: 0,
+            adjustments_up: 0,
+        }
+    }
+
+    /// Create a Scheme 1 policy with the paper's parameters.
+    pub fn paper_default() -> Self {
+        AdaptiveThreshold::new(CaemConfig::paper_default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> CaemConfig {
+        self.config
+    }
+
+    /// Number of one-class-down / snap-to-top adjustments performed.
+    pub fn adjustment_counts(&self) -> (u64, u64) {
+        (self.adjustments_down, self.adjustments_up)
+    }
+
+    fn lower_threshold(&mut self) {
+        let mut mode = self.current;
+        for _ in 0..self.config.lower_step_classes {
+            mode = mode.one_class_lower();
+        }
+        if mode != self.current {
+            self.current = mode;
+            self.adjustments_down += 1;
+        }
+    }
+
+    fn raise_to_top(&mut self) {
+        if self.current != TransmissionMode::highest() {
+            self.current = TransmissionMode::highest();
+            self.adjustments_up += 1;
+        }
+    }
+}
+
+impl Default for AdaptiveThreshold {
+    fn default() -> Self {
+        AdaptiveThreshold::paper_default()
+    }
+}
+
+impl ThresholdPolicy for AdaptiveThreshold {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Scheme1Adaptive
+    }
+
+    fn on_packet_arrival(&mut self, queue_len: usize) {
+        // The predictor samples on every arrival regardless; the *adjustment*
+        // only engages once the queue is past the activation threshold.
+        let delta = self.predictor.on_arrival(queue_len);
+        if queue_len < self.config.queue_threshold {
+            return;
+        }
+        if delta.is_some() {
+            match self.predictor.trend() {
+                Some(Trend::Growing) => self.lower_threshold(),
+                Some(Trend::Draining) => self.raise_to_top(),
+                None => {}
+            }
+        }
+    }
+
+    fn on_packets_sent(&mut self, queue_len: usize) {
+        // Once the pressure is relieved the node reverts to the
+        // energy-optimal threshold; this implements the "increase
+        // transmission threshold to the highest value to save energy" branch
+        // without waiting for the next sampled arrival.
+        if queue_len < self.config.queue_threshold {
+            self.raise_to_top();
+        }
+    }
+
+    fn on_round_change(&mut self) {
+        self.predictor.reset();
+        self.current = self.config.initial_threshold;
+    }
+
+    fn current_threshold(&self) -> Option<TransmissionMode> {
+        Some(self.current)
+    }
+
+    fn is_urgent(&self, queue_len: usize) -> bool {
+        queue_len >= self.config.queue_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_leach_has_no_channel_requirement() {
+        let p = NoAdaptation::default();
+        assert_eq!(p.kind(), PolicyKind::PureLeach);
+        assert_eq!(p.current_threshold(), None);
+        // Required SNR falls back to the lowest mode's requirement.
+        assert_eq!(p.required_snr_db(), TransmissionMode::Kbps250.required_snr_db());
+        assert!(!p.is_urgent(5));
+        assert!(p.is_urgent(15));
+    }
+
+    #[test]
+    fn scheme2_threshold_never_moves() {
+        let mut p = FixedThreshold::paper_default();
+        assert_eq!(p.kind(), PolicyKind::Scheme2Fixed);
+        for q in [1usize, 10, 20, 45, 50] {
+            p.on_packet_arrival(q);
+            assert_eq!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+        }
+        p.on_packets_sent(0);
+        p.on_round_change();
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+        assert_eq!(
+            p.required_snr_db(),
+            TransmissionMode::Mbps2.required_snr_db()
+        );
+    }
+
+    #[test]
+    fn scheme1_starts_at_highest_threshold() {
+        let p = AdaptiveThreshold::paper_default();
+        assert_eq!(p.kind(), PolicyKind::Scheme1Adaptive);
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+    }
+
+    #[test]
+    fn scheme1_ignores_growth_below_queue_threshold() {
+        let mut p = AdaptiveThreshold::paper_default();
+        // Queue grows but stays below Q_threshold = 15: no adjustment.
+        for q in 1..=14usize {
+            p.on_packet_arrival(q);
+        }
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+        assert_eq!(p.adjustment_counts(), (0, 0));
+    }
+
+    #[test]
+    fn scheme1_lowers_one_class_per_growing_sample_above_threshold() {
+        let mut p = AdaptiveThreshold::paper_default();
+        // Drive the queue well past Q_threshold with one arrival per length
+        // increment; a sample is taken every 5 arrivals.
+        let mut q = 0usize;
+        // First 15 arrivals establish pressure and the first samples.
+        for _ in 0..15 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        // Arrival 15 produced the 3rd sample (q=15, above threshold) with a
+        // growing delta ⇒ one class down.
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Mbps1));
+        for _ in 0..5 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Kbps450));
+        for _ in 0..5 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Kbps250));
+        // Saturates at the lowest class.
+        for _ in 0..10 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Kbps250));
+        let (down, _) = p.adjustment_counts();
+        assert_eq!(down, 3);
+    }
+
+    #[test]
+    fn scheme1_snaps_back_to_top_when_queue_drains() {
+        let mut p = AdaptiveThreshold::paper_default();
+        let mut q = 0usize;
+        for _ in 0..20 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        assert_ne!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+        // Queue drains below Q_threshold after a burst: snap to 2 Mbps.
+        p.on_packets_sent(8);
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+        let (_, up) = p.adjustment_counts();
+        assert_eq!(up, 1);
+    }
+
+    #[test]
+    fn scheme1_draining_samples_above_threshold_also_raise() {
+        let mut p = AdaptiveThreshold::paper_default();
+        // Push queue to 25 to lower the threshold.
+        let mut q = 0usize;
+        for _ in 0..25 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        assert_ne!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+        // Still above Q_threshold but now *draining* between samples
+        // (arrivals continue while big bursts are served elsewhere).
+        for q_obs in [22usize, 20, 19, 18, 17] {
+            p.on_packet_arrival(q_obs);
+        }
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+    }
+
+    #[test]
+    fn scheme1_burst_completion_above_threshold_does_not_raise() {
+        let mut p = AdaptiveThreshold::paper_default();
+        let mut q = 0usize;
+        for _ in 0..25 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        let before = p.current_threshold();
+        // Burst sent but queue still ≥ Q_threshold: keep the relaxed value.
+        p.on_packets_sent(17);
+        assert_eq!(p.current_threshold(), before);
+    }
+
+    #[test]
+    fn scheme1_round_change_resets_state() {
+        let mut p = AdaptiveThreshold::paper_default();
+        let mut q = 0usize;
+        for _ in 0..25 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        assert_ne!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+        p.on_round_change();
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Mbps2));
+    }
+
+    #[test]
+    fn scheme1_urgency_tracks_queue_threshold() {
+        let p = AdaptiveThreshold::paper_default();
+        assert!(!p.is_urgent(14));
+        assert!(p.is_urgent(15));
+        assert!(p.is_urgent(50));
+    }
+
+    #[test]
+    fn scheme1_multi_class_step_ablation() {
+        let mut config = CaemConfig::paper_default();
+        config.lower_step_classes = 2;
+        let mut p = AdaptiveThreshold::new(config);
+        let mut q = 0usize;
+        for _ in 0..15 {
+            q += 1;
+            p.on_packet_arrival(q);
+        }
+        // One growing sample above threshold drops two classes at once.
+        assert_eq!(p.current_threshold(), Some(TransmissionMode::Kbps450));
+    }
+
+    #[test]
+    fn policy_kind_display_labels() {
+        assert_eq!(PolicyKind::PureLeach.to_string(), "pure-LEACH");
+        assert!(PolicyKind::Scheme1Adaptive.to_string().contains("Scheme 1"));
+        assert!(PolicyKind::Scheme2Fixed.to_string().contains("Scheme 2"));
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        // The simulator stores policies behind Box<dyn ThresholdPolicy>.
+        let mut policies: Vec<Box<dyn ThresholdPolicy>> = vec![
+            Box::new(NoAdaptation::default()),
+            Box::new(FixedThreshold::paper_default()),
+            Box::new(AdaptiveThreshold::paper_default()),
+        ];
+        for p in &mut policies {
+            p.on_packet_arrival(1);
+            let _ = p.current_threshold();
+            let _ = p.required_snr_db();
+        }
+        assert_eq!(policies[0].kind(), PolicyKind::PureLeach);
+        assert_eq!(policies[2].kind(), PolicyKind::Scheme1Adaptive);
+    }
+}

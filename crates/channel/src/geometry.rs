@@ -1,0 +1,197 @@
+//! Field geometry: node positions and the deployment area.
+//!
+//! The paper deploys 100 nodes in a square field (Table II) with the sink /
+//! cluster heads inside the field.  Positions are two-dimensional; distances
+//! feed the path-loss model.
+
+use caem_simcore::rng::StreamRng;
+use serde::{Deserialize, Serialize};
+
+/// A point in the deployment field, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Create a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, in metres.
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root for comparisons).
+    pub fn distance_sq_to(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between two positions.
+    pub fn midpoint(&self, other: &Position) -> Position {
+        Position::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+/// A rectangular deployment field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Width in metres.
+    pub width: f64,
+    /// Height in metres.
+    pub height: f64,
+}
+
+impl Field {
+    /// Create a field of the given dimensions (metres).
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field must have positive area");
+        Field { width, height }
+    }
+
+    /// The 100 m × 100 m field used throughout the paper's evaluation.
+    pub fn paper_default() -> Self {
+        Field::new(100.0, 100.0)
+    }
+
+    /// Centre of the field (typical base-station location).
+    pub fn center(&self) -> Position {
+        Position::new(self.width / 2.0, self.height / 2.0)
+    }
+
+    /// Field area in square metres.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// The longest possible link distance inside the field (the diagonal).
+    pub fn diagonal(&self) -> f64 {
+        (self.width * self.width + self.height * self.height).sqrt()
+    }
+
+    /// Is `p` inside the field (inclusive of the boundary)?
+    pub fn contains(&self, p: &Position) -> bool {
+        p.x >= 0.0 && p.y >= 0.0 && p.x <= self.width && p.y <= self.height
+    }
+
+    /// Clamp a position onto the field.
+    pub fn clamp(&self, p: Position) -> Position {
+        Position::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// Sample a uniformly random position inside the field.
+    pub fn random_position(&self, rng: &mut StreamRng) -> Position {
+        Position::new(rng.uniform(0.0, self.width), rng.uniform(0.0, self.height))
+    }
+
+    /// Sample `n` uniformly random positions (the paper's random deployment).
+    pub fn random_deployment(&self, n: usize, rng: &mut StreamRng) -> Vec<Position> {
+        (0..n).map(|_| self.random_position(rng)).collect()
+    }
+
+    /// Place `n` nodes on a jittered grid — a deterministic but realistic
+    /// alternative deployment used by some examples and ablations.
+    pub fn grid_deployment(&self, n: usize, jitter: f64, rng: &mut StreamRng) -> Vec<Position> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let dx = self.width / cols as f64;
+        let dy = self.height / rows as f64;
+        let mut out = Vec::with_capacity(n);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if out.len() >= n {
+                    break 'outer;
+                }
+                let base = Position::new((c as f64 + 0.5) * dx, (r as f64 + 0.5) * dy);
+                let jittered = Position::new(
+                    base.x + rng.uniform(-jitter, jitter),
+                    base.y + rng.uniform(-jitter, jitter),
+                );
+                out.push(self.clamp(jittered));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caem_simcore::rng::StreamRng;
+
+    #[test]
+    fn distance_math() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance_to(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq_to(&b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.midpoint(&b), Position::new(1.5, 2.0));
+        assert_eq!(a.distance_to(&a), 0.0);
+    }
+
+    #[test]
+    fn paper_field_dimensions() {
+        let f = Field::paper_default();
+        assert_eq!(f.area(), 10_000.0);
+        assert_eq!(f.center(), Position::new(50.0, 50.0));
+        assert!((f.diagonal() - 141.42135).abs() < 1e-4);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let f = Field::new(10.0, 20.0);
+        assert!(f.contains(&Position::new(0.0, 0.0)));
+        assert!(f.contains(&Position::new(10.0, 20.0)));
+        assert!(!f.contains(&Position::new(10.1, 5.0)));
+        assert!(!f.contains(&Position::new(5.0, -0.1)));
+        assert_eq!(f.clamp(Position::new(-3.0, 25.0)), Position::new(0.0, 20.0));
+    }
+
+    #[test]
+    fn random_deployment_stays_in_field() {
+        let f = Field::paper_default();
+        let mut rng = StreamRng::from_seed_u64(1);
+        let nodes = f.random_deployment(100, &mut rng);
+        assert_eq!(nodes.len(), 100);
+        assert!(nodes.iter().all(|p| f.contains(p)));
+        // Not all identical.
+        assert!(nodes.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn random_deployment_is_deterministic_per_seed() {
+        let f = Field::paper_default();
+        let a = f.random_deployment(10, &mut StreamRng::from_seed_u64(7));
+        let b = f.random_deployment(10, &mut StreamRng::from_seed_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_deployment_counts_and_bounds() {
+        let f = Field::paper_default();
+        let mut rng = StreamRng::from_seed_u64(3);
+        for n in [0usize, 1, 7, 100] {
+            let nodes = f.grid_deployment(n, 2.0, &mut rng);
+            assert_eq!(nodes.len(), n);
+            assert!(nodes.iter().all(|p| f.contains(p)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_area_field_rejected() {
+        Field::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Cluster formation: assigning every non-head node to a cluster head.
+//!
+//! After the election each ordinary node joins the head whose advertisement
+//! it receives most strongly; with the paper's propagation model (identical
+//! transmit power at every head) that is simply the *nearest* head.  The
+//! paper assumes different clusters operate in different frequency bands, so
+//! cluster membership fully determines who contends with whom.
+
+use caem_channel::geometry::Position;
+use serde::{Deserialize, Serialize};
+
+/// One formed cluster: a head and its member nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Node index of the cluster head.
+    pub head: usize,
+    /// Node indices of the ordinary members (excludes the head itself).
+    pub members: Vec<usize>,
+}
+
+impl Cluster {
+    /// Total number of nodes in the cluster including the head.
+    pub fn size(&self) -> usize {
+        self.members.len() + 1
+    }
+}
+
+/// The result of one round's cluster formation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterFormation {
+    /// The formed clusters, one per elected head.
+    pub clusters: Vec<Cluster>,
+    /// For each node index, the cluster index it belongs to (heads map to
+    /// their own cluster); `None` for dead nodes.
+    pub assignment: Vec<Option<usize>>,
+}
+
+impl ClusterFormation {
+    /// Form clusters by nearest-head assignment.
+    ///
+    /// * `positions` — every node's position (dead nodes included, ignored).
+    /// * `heads` — indices of this round's cluster heads.
+    /// * `alive` — liveness mask; dead nodes get no assignment.
+    pub fn nearest_head(positions: &[Position], heads: &[usize], alive: &[bool]) -> Self {
+        assert_eq!(positions.len(), alive.len(), "positions/alive length mismatch");
+        assert!(!heads.is_empty(), "cluster formation needs at least one head");
+        for &h in heads {
+            assert!(h < positions.len(), "head index out of range");
+            debug_assert!(alive[h], "dead node cannot be a head");
+        }
+        let mut clusters: Vec<Cluster> = heads
+            .iter()
+            .map(|&h| Cluster {
+                head: h,
+                members: Vec::new(),
+            })
+            .collect();
+        let mut assignment = vec![None; positions.len()];
+        for (cluster_idx, &h) in heads.iter().enumerate() {
+            assignment[h] = Some(cluster_idx);
+        }
+        for node in 0..positions.len() {
+            if !alive[node] || heads.contains(&node) {
+                continue;
+            }
+            let nearest = heads
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    positions[node]
+                        .distance_sq_to(&positions[a])
+                        .partial_cmp(&positions[node].distance_sq_to(&positions[b]))
+                        .expect("distances are finite")
+                })
+                .map(|(idx, _)| idx)
+                .expect("at least one head");
+            clusters[nearest].members.push(node);
+            assignment[node] = Some(nearest);
+        }
+        ClusterFormation {
+            clusters,
+            assignment,
+        }
+    }
+
+    /// The cluster index of `node`, if it is assigned.
+    pub fn cluster_of(&self, node: usize) -> Option<usize> {
+        self.assignment.get(node).copied().flatten()
+    }
+
+    /// The head node serving `node` (a head serves itself).
+    pub fn head_of(&self, node: usize) -> Option<usize> {
+        self.cluster_of(node).map(|c| self.clusters[c].head)
+    }
+
+    /// Is `node` a cluster head in this formation?
+    pub fn is_head(&self, node: usize) -> bool {
+        self.clusters.iter().any(|c| c.head == node)
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Mean distance between members and their heads (a geometry sanity
+    /// metric used by tests and the ablation bench).
+    pub fn mean_member_distance(&self, positions: &[Position]) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0u32;
+        for cluster in &self.clusters {
+            let head_pos = positions[cluster.head];
+            for &m in &cluster.members {
+                sum += positions[m].distance_to(&head_pos);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caem_channel::geometry::Field;
+    use caem_simcore::rng::StreamRng;
+
+    fn square_positions() -> Vec<Position> {
+        vec![
+            Position::new(10.0, 10.0), // 0
+            Position::new(90.0, 10.0), // 1
+            Position::new(10.0, 90.0), // 2
+            Position::new(90.0, 90.0), // 3
+            Position::new(12.0, 12.0), // 4 — near node 0
+            Position::new(88.0, 88.0), // 5 — near node 3
+        ]
+    }
+
+    #[test]
+    fn members_join_nearest_head() {
+        let positions = square_positions();
+        let alive = vec![true; positions.len()];
+        let f = ClusterFormation::nearest_head(&positions, &[0, 3], &alive);
+        assert_eq!(f.cluster_count(), 2);
+        assert_eq!(f.head_of(4), Some(0));
+        assert_eq!(f.head_of(5), Some(3));
+        assert!(f.is_head(0));
+        assert!(f.is_head(3));
+        assert!(!f.is_head(4));
+        // Heads belong to their own clusters.
+        assert_eq!(f.head_of(0), Some(0));
+        assert_eq!(f.head_of(3), Some(3));
+        // Everybody alive is assigned somewhere.
+        assert!(f.assignment.iter().all(|a| a.is_some()));
+    }
+
+    #[test]
+    fn dead_nodes_are_unassigned() {
+        let positions = square_positions();
+        let mut alive = vec![true; positions.len()];
+        alive[4] = false;
+        let f = ClusterFormation::nearest_head(&positions, &[0, 3], &alive);
+        assert_eq!(f.cluster_of(4), None);
+        assert_eq!(f.head_of(4), None);
+        let total_members: usize = f.clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total_members, positions.len() - 2 - 1);
+    }
+
+    #[test]
+    fn single_head_takes_everyone() {
+        let positions = square_positions();
+        let alive = vec![true; positions.len()];
+        let f = ClusterFormation::nearest_head(&positions, &[2], &alive);
+        assert_eq!(f.cluster_count(), 1);
+        assert_eq!(f.clusters[0].size(), positions.len());
+        assert!(positions
+            .iter()
+            .enumerate()
+            .all(|(i, _)| f.head_of(i) == Some(2)));
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_live_nodes() {
+        let field = Field::paper_default();
+        let mut rng = StreamRng::from_seed_u64(11);
+        let positions = field.random_deployment(100, &mut rng);
+        let alive = vec![true; 100];
+        let heads = vec![3, 17, 42, 68, 91];
+        let f = ClusterFormation::nearest_head(&positions, &heads, &alive);
+        let total: usize = f.clusters.iter().map(|c| c.size()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nearest_assignment_minimises_distance() {
+        let field = Field::paper_default();
+        let mut rng = StreamRng::from_seed_u64(12);
+        let positions = field.random_deployment(60, &mut rng);
+        let alive = vec![true; 60];
+        let heads = vec![0, 1, 2];
+        let f = ClusterFormation::nearest_head(&positions, &heads, &alive);
+        for node in 3..60 {
+            let chosen = f.head_of(node).unwrap();
+            let chosen_d = positions[node].distance_to(&positions[chosen]);
+            for &h in &heads {
+                assert!(
+                    chosen_d <= positions[node].distance_to(&positions[h]) + 1e-9,
+                    "node {node} not assigned to nearest head"
+                );
+            }
+        }
+        assert!(f.mean_member_distance(&positions) > 0.0);
+    }
+
+    #[test]
+    fn more_heads_reduce_mean_member_distance() {
+        let field = Field::paper_default();
+        let mut rng = StreamRng::from_seed_u64(13);
+        let positions = field.random_deployment(100, &mut rng);
+        let alive = vec![true; 100];
+        let few = ClusterFormation::nearest_head(&positions, &[0, 50], &alive);
+        let many =
+            ClusterFormation::nearest_head(&positions, &[0, 10, 30, 50, 70, 90], &alive);
+        assert!(
+            many.mean_member_distance(&positions) < few.mean_member_distance(&positions)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_head_list_rejected() {
+        let positions = square_positions();
+        let alive = vec![true; positions.len()];
+        ClusterFormation::nearest_head(&positions, &[], &alive);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_head_rejected() {
+        let positions = square_positions();
+        let alive = vec![true; positions.len()];
+        ClusterFormation::nearest_head(&positions, &[99], &alive);
+    }
+}

@@ -1,0 +1,181 @@
+//! Radio power profiles and state-residency energy computation.
+
+use caem_simcore::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Power states of the data radio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RadioState {
+    /// Transmitting data frames.
+    Transmit,
+    /// Receiving data frames (the cluster head's dominant state).
+    Receive,
+    /// Sleeping (both RF chains powered down except the wake-up logic).
+    Sleep,
+    /// Waking up from sleep to active (the ~20 ms start-up transient).
+    Startup,
+}
+
+/// Power states of the low-power tone radio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ToneRadioState {
+    /// Broadcasting tone pulses (cluster head).
+    Transmit,
+    /// Listening to / measuring the tone channel (sensor).
+    Receive,
+    /// Powered off.
+    Off,
+}
+
+/// Power draw of every radio state, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioPowerProfile {
+    /// Data radio transmit power draw (W).
+    pub data_tx_w: f64,
+    /// Data radio receive power draw (W).
+    pub data_rx_w: f64,
+    /// Data radio sleep power draw (W).
+    pub data_sleep_w: f64,
+    /// Data radio power draw during the start-up transient (W).
+    pub data_startup_w: f64,
+    /// Duration of the sleep→active start-up transient.
+    pub startup_time: Duration,
+    /// Tone radio transmit power draw (W).
+    pub tone_tx_w: f64,
+    /// Tone radio receive power draw (W).
+    pub tone_rx_w: f64,
+}
+
+impl Default for RadioPowerProfile {
+    fn default() -> Self {
+        RadioPowerProfile::paper_default()
+    }
+}
+
+impl RadioPowerProfile {
+    /// The Table II power profile with the RFM radio's 20 ms start-up time.
+    ///
+    /// The start-up transient is charged at receive-level power: the
+    /// frequency synthesizer and RX chain are live but no useful bits move.
+    pub fn paper_default() -> Self {
+        RadioPowerProfile {
+            data_tx_w: 0.66,
+            data_rx_w: 0.305,
+            data_sleep_w: 3.5e-3,
+            data_startup_w: 0.305,
+            startup_time: Duration::from_millis(20),
+            tone_tx_w: 92e-3,
+            tone_rx_w: 36e-3,
+        }
+    }
+
+    /// Power draw of a data-radio state (W).
+    pub fn data_power(&self, state: RadioState) -> f64 {
+        match state {
+            RadioState::Transmit => self.data_tx_w,
+            RadioState::Receive => self.data_rx_w,
+            RadioState::Sleep => self.data_sleep_w,
+            RadioState::Startup => self.data_startup_w,
+        }
+    }
+
+    /// Power draw of a tone-radio state (W).
+    pub fn tone_power(&self, state: ToneRadioState) -> f64 {
+        match state {
+            ToneRadioState::Transmit => self.tone_tx_w,
+            ToneRadioState::Receive => self.tone_rx_w,
+            ToneRadioState::Off => 0.0,
+        }
+    }
+
+    /// Energy (J) spent holding the data radio in `state` for `dwell`.
+    pub fn data_energy(&self, state: RadioState, dwell: Duration) -> f64 {
+        self.data_power(state) * dwell.as_secs_f64()
+    }
+
+    /// Energy (J) spent holding the tone radio in `state` for `dwell`.
+    pub fn tone_energy(&self, state: ToneRadioState, dwell: Duration) -> f64 {
+        self.tone_power(state) * dwell.as_secs_f64()
+    }
+
+    /// Energy (J) of one complete sleep→active start-up transient.
+    pub fn startup_energy(&self) -> f64 {
+        self.data_energy(RadioState::Startup, self.startup_time)
+    }
+
+    /// Energy to transmit for `airtime` (transmitter side).
+    pub fn transmit_energy(&self, airtime: Duration) -> f64 {
+        self.data_energy(RadioState::Transmit, airtime)
+    }
+
+    /// Energy to receive for `airtime` (receiver side).
+    pub fn receive_energy(&self, airtime: Duration) -> f64 {
+        self.data_energy(RadioState::Receive, airtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_ii() {
+        let p = RadioPowerProfile::paper_default();
+        assert_eq!(p.data_tx_w, 0.66);
+        assert_eq!(p.data_rx_w, 0.305);
+        assert_eq!(p.data_sleep_w, 0.0035);
+        assert_eq!(p.tone_tx_w, 0.092);
+        assert_eq!(p.tone_rx_w, 0.036);
+        assert_eq!(p.startup_time, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn state_power_lookup() {
+        let p = RadioPowerProfile::paper_default();
+        assert_eq!(p.data_power(RadioState::Transmit), p.data_tx_w);
+        assert_eq!(p.data_power(RadioState::Receive), p.data_rx_w);
+        assert_eq!(p.data_power(RadioState::Sleep), p.data_sleep_w);
+        assert_eq!(p.data_power(RadioState::Startup), p.data_startup_w);
+        assert_eq!(p.tone_power(ToneRadioState::Off), 0.0);
+        assert_eq!(p.tone_power(ToneRadioState::Transmit), p.tone_tx_w);
+        assert_eq!(p.tone_power(ToneRadioState::Receive), p.tone_rx_w);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let p = RadioPowerProfile::paper_default();
+        // 1 ms of transmit at 0.66 W = 0.66 mJ.
+        let e = p.transmit_energy(Duration::from_millis(1));
+        assert!((e - 0.66e-3).abs() < 1e-12);
+        let e = p.receive_energy(Duration::from_millis(8));
+        assert!((e - 0.305 * 8e-3).abs() < 1e-12);
+        let e = p.tone_energy(ToneRadioState::Receive, Duration::from_secs(1));
+        assert!((e - 0.036).abs() < 1e-12);
+    }
+
+    #[test]
+    fn startup_energy_value() {
+        let p = RadioPowerProfile::paper_default();
+        // 20 ms at 0.305 W = 6.1 mJ.
+        assert!((p.startup_energy() - 6.1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_is_orders_of_magnitude_cheaper_than_active() {
+        let p = RadioPowerProfile::paper_default();
+        assert!(p.data_sleep_w * 80.0 < p.data_rx_w);
+        assert!(p.data_rx_w < p.data_tx_w);
+        // The tone radio really is "low power" relative to the data radio.
+        assert!(p.tone_rx_w < p.data_rx_w / 5.0);
+    }
+
+    #[test]
+    fn transmitting_at_high_mode_saves_energy_per_packet() {
+        // The core CAEM premise: a 2-kbit packet at 2 Mbps (1 ms) costs ~8x
+        // less transmit energy than at 250 kbps (8 ms).
+        let p = RadioPowerProfile::paper_default();
+        let fast = p.transmit_energy(Duration::from_millis(1));
+        let slow = p.transmit_energy(Duration::from_millis(8));
+        assert!((slow / fast - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! Cluster-head MAC state machine (Fig. 4 of the paper).
+//!
+//! The cluster head owns the data channel of its cluster and advertises its
+//! state on the tone channel:
+//!
+//! * **idle** — periodically broadcast idle tone pulses (1 ms every 50 ms);
+//! * **receive** — on detecting an incoming packet burst, broadcast receive
+//!   pulses (0.5 ms every 10 ms) so the sender can track the live CSI;
+//! * **collision** — on detecting packet corruption (two or more senders),
+//!   broadcast a single collision pulse, then return to idle once the channel
+//!   recovers.
+//!
+//! As with [`crate::sensor::SensorMac`], this is a pure transition function;
+//! the simulator drives it with detected events and schedules the tone
+//! broadcasts it requests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tone::{ChannelState, ToneSchedule};
+
+/// State of the cluster head's data channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterHeadState {
+    /// Channel free; broadcasting idle pulses.
+    Idle,
+    /// Receiving a burst from exactly one sensor.
+    Receiving,
+    /// A collision was detected; the collision pulse is being sent.
+    CollisionNotify,
+    /// Forwarding aggregated data to the base station (defined by the paper
+    /// but not exercised in its evaluation).
+    Forwarding,
+}
+
+/// Action requested from the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterHeadAction {
+    /// Nothing changes.
+    None,
+    /// Start (or restart) broadcasting the tone pattern for `state`.
+    BroadcastTone(ChannelState),
+    /// Stop the data radio receive chain (burst over or aborted).
+    StopReceiving,
+}
+
+/// Statistics the cluster head accumulates, for the metrics crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterHeadStats {
+    /// Bursts received to completion.
+    pub bursts_received: u64,
+    /// Collisions detected.
+    pub collisions: u64,
+    /// Individual packets received successfully.
+    pub packets_received: u64,
+    /// Packets lost to channel errors (corrupted but not a collision).
+    pub packets_corrupted: u64,
+}
+
+/// The cluster-head MAC state machine.
+#[derive(Debug, Clone)]
+pub struct ClusterHeadMac {
+    state: ClusterHeadState,
+    schedule: ToneSchedule,
+    stats: ClusterHeadStats,
+    active_senders: u32,
+}
+
+impl ClusterHeadMac {
+    /// Create a cluster head using the given tone schedule.
+    pub fn new(schedule: ToneSchedule) -> Self {
+        ClusterHeadMac {
+            state: ClusterHeadState::Idle,
+            schedule,
+            stats: ClusterHeadStats::default(),
+            active_senders: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClusterHeadState {
+        self.state
+    }
+
+    /// The tone schedule in use.
+    pub fn schedule(&self) -> &ToneSchedule {
+        &self.schedule
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ClusterHeadStats {
+        self.stats
+    }
+
+    /// Number of sensors currently transmitting into this head.
+    pub fn active_senders(&self) -> u32 {
+        self.active_senders
+    }
+
+    /// The channel state to advertise on the tone channel right now.
+    pub fn advertised_state(&self) -> ChannelState {
+        match self.state {
+            ClusterHeadState::Idle => ChannelState::Idle,
+            ClusterHeadState::Receiving => ChannelState::Receive,
+            ClusterHeadState::CollisionNotify => ChannelState::Collision,
+            ClusterHeadState::Forwarding => ChannelState::Transmit,
+        }
+    }
+
+    /// The head is (re-)activated at the start of a round: broadcast idle.
+    pub fn activate(&mut self) -> ClusterHeadAction {
+        self.state = ClusterHeadState::Idle;
+        self.active_senders = 0;
+        ClusterHeadAction::BroadcastTone(ChannelState::Idle)
+    }
+
+    /// A sensor started transmitting into this head.
+    ///
+    /// If the channel was idle the head moves to `Receiving` and switches the
+    /// tone pattern.  If another sensor was already transmitting this is a
+    /// collision: the head emits the collision pulse.
+    pub fn transmission_started(&mut self) -> ClusterHeadAction {
+        self.active_senders += 1;
+        match self.state {
+            ClusterHeadState::Idle => {
+                self.state = ClusterHeadState::Receiving;
+                ClusterHeadAction::BroadcastTone(ChannelState::Receive)
+            }
+            ClusterHeadState::Receiving => {
+                // Second simultaneous sender ⇒ collision.
+                self.state = ClusterHeadState::CollisionNotify;
+                self.stats.collisions += 1;
+                ClusterHeadAction::BroadcastTone(ChannelState::Collision)
+            }
+            ClusterHeadState::CollisionNotify => {
+                // Already notifying; the new sender will hear it too.
+                ClusterHeadAction::None
+            }
+            ClusterHeadState::Forwarding => {
+                // Should not happen in the modelled scenario; treat as a
+                // collision with the forward link.
+                self.stats.collisions += 1;
+                ClusterHeadAction::BroadcastTone(ChannelState::Collision)
+            }
+        }
+    }
+
+    /// A sensor stopped transmitting (either finished or aborted).
+    ///
+    /// `completed_packets` is how many packets of its burst arrived intact;
+    /// `corrupted_packets` how many were received but failed the FEC check.
+    pub fn transmission_ended(
+        &mut self,
+        completed_packets: u64,
+        corrupted_packets: u64,
+    ) -> ClusterHeadAction {
+        self.active_senders = self.active_senders.saturating_sub(1);
+        self.stats.packets_received += completed_packets;
+        self.stats.packets_corrupted += corrupted_packets;
+        match self.state {
+            ClusterHeadState::Receiving => {
+                if self.active_senders == 0 {
+                    self.stats.bursts_received += 1;
+                    self.state = ClusterHeadState::Idle;
+                    ClusterHeadAction::BroadcastTone(ChannelState::Idle)
+                } else {
+                    ClusterHeadAction::None
+                }
+            }
+            ClusterHeadState::CollisionNotify => {
+                if self.active_senders == 0 {
+                    // Channel recovered: back to idle pulses.
+                    self.state = ClusterHeadState::Idle;
+                    ClusterHeadAction::BroadcastTone(ChannelState::Idle)
+                } else {
+                    ClusterHeadAction::None
+                }
+            }
+            _ => ClusterHeadAction::None,
+        }
+    }
+
+    /// The head is deactivated (LEACH elected a different head, or it died):
+    /// it stops broadcasting entirely, which the sensors detect as tone loss.
+    pub fn deactivate(&mut self) -> ClusterHeadAction {
+        self.state = ClusterHeadState::Idle;
+        self.active_senders = 0;
+        ClusterHeadAction::StopReceiving
+    }
+}
+
+impl Default for ClusterHeadMac {
+    fn default() -> Self {
+        ClusterHeadMac::new(ToneSchedule::paper_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_broadcasts_idle() {
+        let mut ch = ClusterHeadMac::default();
+        assert_eq!(ch.activate(), ClusterHeadAction::BroadcastTone(ChannelState::Idle));
+        assert_eq!(ch.state(), ClusterHeadState::Idle);
+        assert_eq!(ch.advertised_state(), ChannelState::Idle);
+    }
+
+    #[test]
+    fn single_sender_receive_cycle() {
+        let mut ch = ClusterHeadMac::default();
+        ch.activate();
+        assert_eq!(
+            ch.transmission_started(),
+            ClusterHeadAction::BroadcastTone(ChannelState::Receive)
+        );
+        assert_eq!(ch.state(), ClusterHeadState::Receiving);
+        assert_eq!(ch.active_senders(), 1);
+        assert_eq!(
+            ch.transmission_ended(5, 0),
+            ClusterHeadAction::BroadcastTone(ChannelState::Idle)
+        );
+        assert_eq!(ch.state(), ClusterHeadState::Idle);
+        let s = ch.stats();
+        assert_eq!(s.bursts_received, 1);
+        assert_eq!(s.packets_received, 5);
+        assert_eq!(s.collisions, 0);
+    }
+
+    #[test]
+    fn two_senders_collide() {
+        let mut ch = ClusterHeadMac::default();
+        ch.activate();
+        ch.transmission_started();
+        assert_eq!(
+            ch.transmission_started(),
+            ClusterHeadAction::BroadcastTone(ChannelState::Collision)
+        );
+        assert_eq!(ch.state(), ClusterHeadState::CollisionNotify);
+        assert_eq!(ch.advertised_state(), ChannelState::Collision);
+        assert_eq!(ch.stats().collisions, 1);
+        // A third sender arriving during the notification adds nothing new.
+        assert_eq!(ch.transmission_started(), ClusterHeadAction::None);
+        // All three back off; once the last stops, the head returns to idle.
+        assert_eq!(ch.transmission_ended(0, 0), ClusterHeadAction::None);
+        assert_eq!(ch.transmission_ended(0, 0), ClusterHeadAction::None);
+        assert_eq!(
+            ch.transmission_ended(0, 0),
+            ClusterHeadAction::BroadcastTone(ChannelState::Idle)
+        );
+        assert_eq!(ch.state(), ClusterHeadState::Idle);
+        // No burst is credited for a collision round.
+        assert_eq!(ch.stats().bursts_received, 0);
+    }
+
+    #[test]
+    fn corrupted_packets_are_counted_separately() {
+        let mut ch = ClusterHeadMac::default();
+        ch.activate();
+        ch.transmission_started();
+        ch.transmission_ended(3, 2);
+        let s = ch.stats();
+        assert_eq!(s.packets_received, 3);
+        assert_eq!(s.packets_corrupted, 2);
+    }
+
+    #[test]
+    fn deactivation_silences_the_tone_channel() {
+        let mut ch = ClusterHeadMac::default();
+        ch.activate();
+        ch.transmission_started();
+        assert_eq!(ch.deactivate(), ClusterHeadAction::StopReceiving);
+        assert_eq!(ch.active_senders(), 0);
+        assert_eq!(ch.state(), ClusterHeadState::Idle);
+    }
+
+    #[test]
+    fn ending_without_start_is_harmless() {
+        let mut ch = ClusterHeadMac::default();
+        ch.activate();
+        assert_eq!(ch.transmission_ended(0, 0), ClusterHeadAction::None);
+        assert_eq!(ch.active_senders(), 0);
+    }
+
+    #[test]
+    fn advertised_state_covers_all_head_states() {
+        let mut ch = ClusterHeadMac::default();
+        ch.activate();
+        assert_eq!(ch.advertised_state(), ChannelState::Idle);
+        ch.transmission_started();
+        assert_eq!(ch.advertised_state(), ChannelState::Receive);
+        ch.transmission_started();
+        assert_eq!(ch.advertised_state(), ChannelState::Collision);
+    }
+}

@@ -1,0 +1,464 @@
+//! Sensor-node MAC state machine (Fig. 3 of the paper).
+//!
+//! States and transitions:
+//!
+//! ```text
+//!            packets queued                channel idle ∧ CSI ≥ threshold
+//!   Sleep ───────────────────► Sensing ───────────────────────────────► Backoff
+//!     ▲                          ▲  ▲                                      │
+//!     │ queue drained            │  │ conditions no longer hold            │ backoff expired,
+//!     │ or tone lost             │  └──────────────────────────────────────┘ conditions re-checked
+//!     │                          │ collision tone / burst aborted
+//!     └────────── Transmitting ◄─┴─────────────────────────────────────────┘
+//! ```
+//!
+//! The struct is a *pure* state machine: every method consumes an observation
+//! and returns the [`SensorAction`] the node should carry out (turn a radio
+//! on, start a timer, start or abort a burst).  All timing, energy accounting
+//! and queue manipulation happen in `caem-wsnsim`, which keeps this logic
+//! independently testable.
+
+use caem_simcore::rng::StreamRng;
+use caem_simcore::time::Duration;
+use serde::{Deserialize, Serialize};
+
+use crate::backoff::{BackoffConfig, BackoffScheduler};
+use crate::burst::BurstPolicy;
+use crate::tone::{ChannelState, ToneSignal};
+
+/// The MAC-layer state of a sensor node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorMacState {
+    /// Both radios off; no packets to send (or cluster head lost).
+    Sleep,
+    /// Tone radio on, monitoring the channel state and CSI.
+    Sensing,
+    /// Conditions were satisfied; waiting out the random backoff.
+    Backoff,
+    /// Data radio on, sending a burst of packets.
+    Transmitting,
+}
+
+/// What the node should do next, as decided by the state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorAction {
+    /// Nothing to do; stay in the current state.
+    None,
+    /// Turn the tone radio on and start monitoring the channel.
+    StartSensing,
+    /// Start a backoff timer of the given duration (tone radio stays on).
+    StartBackoff(Duration),
+    /// Wake the data radio (incurring the start-up cost) and transmit a burst
+    /// of `burst_size` packets.
+    StartTransmission {
+        /// Number of packets to include in the burst.
+        burst_size: usize,
+    },
+    /// Stop the ongoing burst immediately (collision detected) and power the
+    /// data radio down.
+    AbortTransmission,
+    /// Power both radios down and sleep.
+    EnterSleep,
+}
+
+/// Configuration of the sensor MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorMacConfig {
+    /// Backoff parameters.
+    pub backoff: BackoffConfig,
+    /// Burst sizing policy.
+    pub burst: BurstPolicy,
+}
+
+impl Default for SensorMacConfig {
+    fn default() -> Self {
+        SensorMacConfig {
+            backoff: BackoffConfig::paper_default(),
+            burst: BurstPolicy::paper_default(),
+        }
+    }
+}
+
+/// Per-node MAC statistics, exposed for the metrics crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensorMacStats {
+    /// Bursts started.
+    pub bursts_started: u64,
+    /// Bursts aborted by a collision tone.
+    pub bursts_aborted: u64,
+    /// Bursts completed successfully.
+    pub bursts_completed: u64,
+    /// Access attempts deferred because the CSI was below the threshold.
+    pub deferred_low_csi: u64,
+    /// Access attempts deferred because the channel was busy.
+    pub deferred_busy: u64,
+    /// Packets dropped after exhausting the retransmission budget.
+    pub packets_abandoned: u64,
+}
+
+/// The sensor MAC state machine.
+#[derive(Debug, Clone)]
+pub struct SensorMac {
+    state: SensorMacState,
+    config: SensorMacConfig,
+    backoff: BackoffScheduler,
+    stats: SensorMacStats,
+    pending_burst: usize,
+}
+
+impl SensorMac {
+    /// Create a sensor MAC with its own backoff random stream.
+    pub fn new(config: SensorMacConfig, backoff_rng: StreamRng) -> Self {
+        SensorMac {
+            state: SensorMacState::Sleep,
+            config,
+            backoff: BackoffScheduler::new(config.backoff, backoff_rng),
+            stats: SensorMacStats::default(),
+            pending_burst: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SensorMacState {
+        self.state
+    }
+
+    /// MAC statistics so far.
+    pub fn stats(&self) -> SensorMacStats {
+        self.stats
+    }
+
+    /// The burst size chosen when the current transmission started.
+    pub fn pending_burst(&self) -> usize {
+        self.pending_burst
+    }
+
+    /// Number of retransmissions of the head-of-line packet so far.
+    pub fn retries(&self) -> u32 {
+        self.backoff.retries()
+    }
+
+    /// The node has (or received) packets to send while asleep.
+    pub fn packets_pending(&mut self, queued: usize) -> SensorAction {
+        if queued == 0 {
+            return SensorAction::None;
+        }
+        match self.state {
+            SensorMacState::Sleep => {
+                self.state = SensorMacState::Sensing;
+                SensorAction::StartSensing
+            }
+            _ => SensorAction::None,
+        }
+    }
+
+    fn conditions_met(
+        &mut self,
+        signal: &ToneSignal,
+        threshold_snr_db: f64,
+        queued: usize,
+        urgent: bool,
+    ) -> bool {
+        if signal.state != ChannelState::Idle {
+            self.stats.deferred_busy += 1;
+            return false;
+        }
+        if signal.tone_snr_db < threshold_snr_db {
+            self.stats.deferred_low_csi += 1;
+            return false;
+        }
+        self.config.burst.should_transmit(queued, urgent)
+    }
+
+    /// A tone observation arrived while the node is sensing.
+    ///
+    /// * `signal = None` means the tone channel went silent (cluster head
+    ///   collapsed or switched): the node powers down.
+    /// * `threshold_snr_db` is the transmission threshold currently demanded
+    ///   by the CAEM policy (the *tone-channel* SNR equivalent).
+    /// * `urgent` is set by the policy when the buffer is under overflow
+    ///   pressure, waiving the minimum burst size.
+    pub fn observe_tone(
+        &mut self,
+        signal: Option<ToneSignal>,
+        threshold_snr_db: f64,
+        queued: usize,
+        urgent: bool,
+    ) -> SensorAction {
+        let Some(signal) = signal else {
+            self.state = SensorMacState::Sleep;
+            return SensorAction::EnterSleep;
+        };
+        match self.state {
+            SensorMacState::Sensing => {
+                if queued == 0 {
+                    self.state = SensorMacState::Sleep;
+                    return SensorAction::EnterSleep;
+                }
+                if self.conditions_met(&signal, threshold_snr_db, queued, urgent) {
+                    self.state = SensorMacState::Backoff;
+                    SensorAction::StartBackoff(self.backoff.next_backoff())
+                } else {
+                    SensorAction::None
+                }
+            }
+            // Observations in other states carry no new decision here; the
+            // collision case is handled by `collision_detected`.
+            _ => SensorAction::None,
+        }
+    }
+
+    /// The backoff timer expired; the node re-checks both conditions before
+    /// committing the data radio.
+    pub fn backoff_expired(
+        &mut self,
+        signal: Option<ToneSignal>,
+        threshold_snr_db: f64,
+        queued: usize,
+        urgent: bool,
+    ) -> SensorAction {
+        if self.state != SensorMacState::Backoff {
+            return SensorAction::None;
+        }
+        let Some(signal) = signal else {
+            self.state = SensorMacState::Sleep;
+            return SensorAction::EnterSleep;
+        };
+        if queued == 0 {
+            self.state = SensorMacState::Sleep;
+            return SensorAction::EnterSleep;
+        }
+        if self.conditions_met(&signal, threshold_snr_db, queued, urgent) {
+            self.state = SensorMacState::Transmitting;
+            self.pending_burst = self.config.burst.burst_size(queued);
+            self.stats.bursts_started += 1;
+            SensorAction::StartTransmission {
+                burst_size: self.pending_burst,
+            }
+        } else {
+            self.state = SensorMacState::Sensing;
+            SensorAction::None
+        }
+    }
+
+    /// A collision tone was heard while transmitting: abort the burst.
+    ///
+    /// Returns the action plus whether the head-of-line packet may still be
+    /// retried (false once the retransmission budget is exhausted, in which
+    /// case the caller should drop it).
+    pub fn collision_detected(&mut self) -> (SensorAction, bool) {
+        if self.state != SensorMacState::Transmitting {
+            return (SensorAction::None, true);
+        }
+        self.stats.bursts_aborted += 1;
+        let may_retry = self.backoff.record_failure();
+        if !may_retry {
+            self.stats.packets_abandoned += 1;
+            self.backoff.reset();
+        }
+        self.state = SensorMacState::Sensing;
+        self.pending_burst = 0;
+        (SensorAction::AbortTransmission, may_retry)
+    }
+
+    /// The burst finished without collision.
+    pub fn burst_complete(&mut self, packets_still_queued: usize) -> SensorAction {
+        if self.state != SensorMacState::Transmitting {
+            return SensorAction::None;
+        }
+        self.stats.bursts_completed += 1;
+        self.backoff.record_success();
+        self.pending_burst = 0;
+        if packets_still_queued > 0 {
+            self.state = SensorMacState::Sensing;
+            SensorAction::StartSensing
+        } else {
+            self.state = SensorMacState::Sleep;
+            SensorAction::EnterSleep
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(state: ChannelState, snr: f64) -> Option<ToneSignal> {
+        Some(ToneSignal {
+            state,
+            tone_snr_db: snr,
+        })
+    }
+
+    fn mac(seed: u64) -> SensorMac {
+        SensorMac::new(SensorMacConfig::default(), StreamRng::from_seed_u64(seed))
+    }
+
+    #[test]
+    fn starts_asleep_and_wakes_on_packets() {
+        let mut m = mac(1);
+        assert_eq!(m.state(), SensorMacState::Sleep);
+        assert_eq!(m.packets_pending(0), SensorAction::None);
+        assert_eq!(m.state(), SensorMacState::Sleep);
+        assert_eq!(m.packets_pending(3), SensorAction::StartSensing);
+        assert_eq!(m.state(), SensorMacState::Sensing);
+        // Waking again while already sensing is a no-op.
+        assert_eq!(m.packets_pending(4), SensorAction::None);
+    }
+
+    #[test]
+    fn full_happy_path_to_transmission() {
+        let mut m = mac(2);
+        m.packets_pending(5);
+        // Good channel, idle, enough packets: go to backoff.
+        let a = m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 5, false);
+        match a {
+            SensorAction::StartBackoff(d) => assert!(d <= Duration::from_micros(200)),
+            other => panic!("expected backoff, got {other:?}"),
+        }
+        assert_eq!(m.state(), SensorMacState::Backoff);
+        // Conditions still hold after backoff: transmit a burst of 5.
+        let a = m.backoff_expired(signal(ChannelState::Idle, 30.0), 20.0, 5, false);
+        assert_eq!(a, SensorAction::StartTransmission { burst_size: 5 });
+        assert_eq!(m.state(), SensorMacState::Transmitting);
+        assert_eq!(m.pending_burst(), 5);
+        // Finish with 0 packets left: sleep.
+        assert_eq!(m.burst_complete(0), SensorAction::EnterSleep);
+        assert_eq!(m.state(), SensorMacState::Sleep);
+        assert_eq!(m.stats().bursts_completed, 1);
+    }
+
+    #[test]
+    fn burst_size_capped_at_eight() {
+        let mut m = mac(3);
+        m.packets_pending(20);
+        m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 20, false);
+        let a = m.backoff_expired(signal(ChannelState::Idle, 30.0), 20.0, 20, false);
+        assert_eq!(a, SensorAction::StartTransmission { burst_size: 8 });
+    }
+
+    #[test]
+    fn low_csi_defers_transmission() {
+        let mut m = mac(4);
+        m.packets_pending(5);
+        let a = m.observe_tone(signal(ChannelState::Idle, 10.0), 20.0, 5, false);
+        assert_eq!(a, SensorAction::None);
+        assert_eq!(m.state(), SensorMacState::Sensing);
+        assert_eq!(m.stats().deferred_low_csi, 1);
+    }
+
+    #[test]
+    fn busy_channel_defers_transmission() {
+        let mut m = mac(5);
+        m.packets_pending(5);
+        let a = m.observe_tone(signal(ChannelState::Receive, 30.0), 20.0, 5, false);
+        assert_eq!(a, SensorAction::None);
+        assert_eq!(m.stats().deferred_busy, 1);
+        let a = m.observe_tone(signal(ChannelState::Collision, 30.0), 20.0, 5, false);
+        assert_eq!(a, SensorAction::None);
+        assert_eq!(m.stats().deferred_busy, 2);
+    }
+
+    #[test]
+    fn below_min_burst_waits_unless_urgent() {
+        let mut m = mac(6);
+        m.packets_pending(2);
+        let a = m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 2, false);
+        assert_eq!(a, SensorAction::None);
+        // Urgent (queue pressure) waives the 3-packet minimum.
+        let a = m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 2, true);
+        assert!(matches!(a, SensorAction::StartBackoff(_)));
+    }
+
+    #[test]
+    fn conditions_rechecked_after_backoff() {
+        let mut m = mac(7);
+        m.packets_pending(5);
+        m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 5, false);
+        // Channel deteriorated during the backoff: back to sensing.
+        let a = m.backoff_expired(signal(ChannelState::Idle, 12.0), 20.0, 5, false);
+        assert_eq!(a, SensorAction::None);
+        assert_eq!(m.state(), SensorMacState::Sensing);
+        // Channel became busy during the backoff.
+        m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 5, false);
+        let a = m.backoff_expired(signal(ChannelState::Receive, 30.0), 20.0, 5, false);
+        assert_eq!(a, SensorAction::None);
+        assert_eq!(m.state(), SensorMacState::Sensing);
+    }
+
+    #[test]
+    fn collision_aborts_and_eventually_abandons() {
+        let mut m = mac(8);
+        let reach_tx = |m: &mut SensorMac| {
+            m.packets_pending(5);
+            m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 5, false);
+            let a = m.backoff_expired(signal(ChannelState::Idle, 30.0), 20.0, 5, false);
+            assert!(matches!(a, SensorAction::StartTransmission { .. }));
+        };
+        // Six collisions are retriable, the seventh abandons the packet.
+        for i in 1..=7 {
+            reach_tx(&mut m);
+            let (action, may_retry) = m.collision_detected();
+            assert_eq!(action, SensorAction::AbortTransmission);
+            if i <= 6 {
+                assert!(may_retry, "collision {i} should allow a retry");
+            } else {
+                assert!(!may_retry, "collision 7 should abandon the packet");
+            }
+            assert_eq!(m.state(), SensorMacState::Sensing);
+        }
+        assert_eq!(m.stats().bursts_aborted, 7);
+        assert_eq!(m.stats().packets_abandoned, 1);
+        // Retry counter reset after abandonment.
+        assert_eq!(m.retries(), 0);
+    }
+
+    #[test]
+    fn tone_loss_sends_node_to_sleep() {
+        let mut m = mac(9);
+        m.packets_pending(5);
+        assert_eq!(m.observe_tone(None, 20.0, 5, false), SensorAction::EnterSleep);
+        assert_eq!(m.state(), SensorMacState::Sleep);
+        // Also from backoff.
+        let mut m = mac(10);
+        m.packets_pending(5);
+        m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 5, false);
+        assert_eq!(
+            m.backoff_expired(None, 20.0, 5, false),
+            SensorAction::EnterSleep
+        );
+    }
+
+    #[test]
+    fn burst_complete_with_backlog_keeps_sensing() {
+        let mut m = mac(11);
+        m.packets_pending(12);
+        m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 12, false);
+        m.backoff_expired(signal(ChannelState::Idle, 30.0), 20.0, 12, false);
+        assert_eq!(m.burst_complete(4), SensorAction::StartSensing);
+        assert_eq!(m.state(), SensorMacState::Sensing);
+    }
+
+    #[test]
+    fn empty_queue_while_sensing_sleeps() {
+        let mut m = mac(12);
+        m.packets_pending(3);
+        let a = m.observe_tone(signal(ChannelState::Idle, 30.0), 20.0, 0, false);
+        assert_eq!(a, SensorAction::EnterSleep);
+    }
+
+    #[test]
+    fn out_of_state_events_are_ignored() {
+        let mut m = mac(13);
+        // Not transmitting: collision is a no-op.
+        assert_eq!(m.collision_detected(), (SensorAction::None, true));
+        // Not in backoff: expiry is a no-op.
+        assert_eq!(
+            m.backoff_expired(signal(ChannelState::Idle, 30.0), 20.0, 5, false),
+            SensorAction::None
+        );
+        // Not transmitting: completion is a no-op.
+        assert_eq!(m.burst_complete(0), SensorAction::None);
+        assert_eq!(m.state(), SensorMacState::Sleep);
+    }
+}

@@ -1,0 +1,108 @@
+//! Short-term fairness: the standard deviation of per-node queue lengths
+//! (Fig. 12).
+//!
+//! "As all sensors are homogeneous Poisson sources bearing the same packet
+//! arrival rate, we can define fairness here as the standard deviation of
+//! queue length … we have taken several snapshots of the value during the
+//! observed time [and] average them."  A smaller value means bandwidth is
+//! being shared more evenly (nobody's queue is ballooning while others drain).
+
+use caem_simcore::stats::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates queue-length snapshots and reports the averaged standard
+/// deviation (the Fig. 12 metric).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueueFairness {
+    /// Running statistics over the per-snapshot standard deviations.
+    snapshot_stddevs: RunningStats,
+    /// Running statistics over the per-snapshot mean queue lengths (context
+    /// for interpreting the deviation).
+    snapshot_means: RunningStats,
+}
+
+impl QueueFairness {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one snapshot of every live node's queue length.
+    ///
+    /// Snapshots of an empty slice (no live nodes) are ignored.
+    pub fn snapshot(&mut self, queue_lengths: &[usize]) {
+        if queue_lengths.is_empty() {
+            return;
+        }
+        let mut stats = RunningStats::new();
+        stats.extend(queue_lengths.iter().map(|&q| q as f64));
+        self.snapshot_stddevs.push(stats.std_dev());
+        self.snapshot_means.push(stats.mean());
+    }
+
+    /// Number of snapshots recorded.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshot_stddevs.count()
+    }
+
+    /// The Fig. 12 metric: snapshot standard deviations averaged over the run.
+    pub fn mean_std_dev(&self) -> f64 {
+        self.snapshot_stddevs.mean()
+    }
+
+    /// Average queue length across snapshots (context metric).
+    pub fn mean_queue_length(&self) -> f64 {
+        self.snapshot_means.mean()
+    }
+
+    /// Largest single-snapshot standard deviation observed.
+    pub fn worst_std_dev(&self) -> Option<f64> {
+        self.snapshot_stddevs.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_fair_network_has_zero_deviation() {
+        let mut f = QueueFairness::new();
+        f.snapshot(&[3, 3, 3, 3]);
+        f.snapshot(&[7, 7, 7, 7]);
+        assert_eq!(f.snapshots(), 2);
+        assert_eq!(f.mean_std_dev(), 0.0);
+        assert_eq!(f.mean_queue_length(), 5.0);
+    }
+
+    #[test]
+    fn unfair_network_has_positive_deviation() {
+        let mut fair = QueueFairness::new();
+        let mut unfair = QueueFairness::new();
+        // Same total backlog, different spread.
+        fair.snapshot(&[5, 5, 5, 5]);
+        unfair.snapshot(&[0, 0, 0, 20]);
+        assert!(unfair.mean_std_dev() > fair.mean_std_dev());
+        assert!((unfair.mean_std_dev() - 8.66).abs() < 0.01);
+        assert_eq!(unfair.worst_std_dev().unwrap(), unfair.mean_std_dev());
+    }
+
+    #[test]
+    fn snapshots_are_averaged() {
+        let mut f = QueueFairness::new();
+        f.snapshot(&[0, 10]); // std dev = 5
+        f.snapshot(&[5, 5]); // std dev = 0
+        assert_eq!(f.snapshots(), 2);
+        assert!((f.mean_std_dev() - 2.5).abs() < 1e-12);
+        assert_eq!(f.worst_std_dev(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_snapshot_is_ignored() {
+        let mut f = QueueFairness::new();
+        f.snapshot(&[]);
+        assert_eq!(f.snapshots(), 0);
+        assert_eq!(f.mean_std_dev(), 0.0);
+        assert_eq!(f.worst_std_dev(), None);
+    }
+}

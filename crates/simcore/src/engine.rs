@@ -1,0 +1,353 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] owns a virtual clock and a pending-event set of boxed
+//! closures.  Protocol crates that prefer typed event enums can instead embed
+//! an [`crate::EventQueue`] directly; the closure-based engine is the
+//! convenient general-purpose driver used by the network simulator and the
+//! examples.
+
+use crate::event::EventQueue;
+use crate::time::{Duration, SimTime};
+
+/// A callback scheduled on the simulator.
+pub type EventFn = Box<dyn FnOnce(&mut SimContext)>;
+
+/// Unique identifier of a scheduled callback, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScheduleHandle(u64);
+
+struct Entry {
+    handle: ScheduleHandle,
+    callback: EventFn,
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry").field("handle", &self.handle).finish()
+    }
+}
+
+/// Context handed to every callback: the current time plus the ability to
+/// schedule further events.
+#[derive(Debug)]
+pub struct SimContext {
+    now: SimTime,
+    next_handle: u64,
+    pending: Vec<(SimTime, Entry)>,
+    cancelled: Vec<ScheduleHandle>,
+    stop_requested: bool,
+}
+
+impl SimContext {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `callback` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to "now": the callback runs at the
+    /// current instant, after all callbacks already pending for this instant.
+    pub fn schedule_at<F>(&mut self, at: SimTime, callback: F) -> ScheduleHandle
+    where
+        F: FnOnce(&mut SimContext) + 'static,
+    {
+        let at = at.max(self.now);
+        let handle = ScheduleHandle(self.next_handle);
+        self.next_handle += 1;
+        self.pending.push((
+            at,
+            Entry {
+                handle,
+                callback: Box::new(callback),
+            },
+        ));
+        handle
+    }
+
+    /// Schedule `callback` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: Duration, callback: F) -> ScheduleHandle
+    where
+        F: FnOnce(&mut SimContext) + 'static,
+    {
+        self.schedule_at(self.now + delay, callback)
+    }
+
+    /// Cancel a previously scheduled callback.  Cancelling an already-fired
+    /// or unknown handle is a no-op.
+    pub fn cancel(&mut self, handle: ScheduleHandle) {
+        self.cancelled.push(handle);
+    }
+
+    /// Ask the simulator to stop after the current callback returns.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    queue: EventQueue<Entry>,
+    ctx: SimContext,
+    processed: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.ctx.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Create a simulator with the clock at `t = 0`.
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            ctx: SimContext {
+                now: SimTime::ZERO,
+                next_handle: 0,
+                pending: Vec::new(),
+                cancelled: Vec::new(),
+                stop_requested: false,
+            },
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// Number of callbacks executed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of callbacks currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len() + self.ctx.pending.len()
+    }
+
+    /// Schedule a callback at an absolute time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, callback: F) -> ScheduleHandle
+    where
+        F: FnOnce(&mut SimContext) + 'static,
+    {
+        let handle = self.ctx.schedule_at(at, callback);
+        self.drain_context();
+        handle
+    }
+
+    /// Schedule a callback after a delay relative to the current time.
+    pub fn schedule_in<F>(&mut self, delay: Duration, callback: F) -> ScheduleHandle
+    where
+        F: FnOnce(&mut SimContext) + 'static,
+    {
+        let handle = self.ctx.schedule_in(delay, callback);
+        self.drain_context();
+        handle
+    }
+
+    /// Cancel a previously scheduled callback.
+    pub fn cancel(&mut self, handle: ScheduleHandle) {
+        self.ctx.cancel(handle);
+    }
+
+    fn drain_context(&mut self) {
+        for (at, entry) in self.ctx.pending.drain(..) {
+            self.queue.push(at, entry);
+        }
+    }
+
+    /// Run until the pending-event set is empty.  Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the clock would pass `deadline` or the queue drains.
+    ///
+    /// Events scheduled exactly at `deadline` *are* executed.  On return the
+    /// clock reads `min(deadline, time of last executed event)`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            if self.ctx.stop_requested {
+                self.ctx.stop_requested = false;
+                break;
+            }
+            let Some(next_time) = self.queue.peek_time() else {
+                break;
+            };
+            if next_time > deadline {
+                break;
+            }
+            let scheduled = self.queue.pop().expect("peeked event must exist");
+            debug_assert!(scheduled.time >= self.ctx.now, "time must not go backwards");
+            // Cancelled?
+            if let Some(pos) = self
+                .ctx
+                .cancelled
+                .iter()
+                .position(|h| *h == scheduled.event.handle)
+            {
+                self.ctx.cancelled.swap_remove(pos);
+                continue;
+            }
+            self.ctx.now = scheduled.time;
+            (scheduled.event.callback)(&mut self.ctx);
+            self.processed += 1;
+            self.drain_context();
+        }
+        self.ctx.now
+    }
+
+    /// Run for `span` of virtual time starting from the current clock.
+    pub fn run_for(&mut self, span: Duration) -> SimTime {
+        let deadline = self.ctx.now + span;
+        self.run_until(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, ms) in [("b", 20u64), ("a", 10), ("c", 30)] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        let end = sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(end, SimTime::from_millis(30));
+        assert_eq!(sim.processed(), 3);
+    }
+
+    #[test]
+    fn callbacks_can_schedule_more_events() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(RefCell::new(0u32));
+        fn tick(ctx: &mut SimContext, count: Rc<RefCell<u32>>, remaining: u32) {
+            *count.borrow_mut() += 1;
+            if remaining > 0 {
+                let c = count.clone();
+                ctx.schedule_in(Duration::from_millis(10), move |ctx| {
+                    tick(ctx, c, remaining - 1)
+                });
+            }
+        }
+        let c = count.clone();
+        sim.schedule_at(SimTime::ZERO, move |ctx| tick(ctx, c, 4));
+        let end = sim.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(end, SimTime::from_millis(40));
+    }
+
+    #[test]
+    fn run_until_respects_deadline_inclusive() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for ms in [10u64, 20, 30, 40] {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |ctx| {
+                hits.borrow_mut().push(ctx.now());
+            });
+        }
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(hits.borrow().len(), 2);
+        // Remaining events still pending and run later.
+        sim.run();
+        assert_eq!(hits.borrow().len(), 4);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Simulator::new();
+        let seen = Rc::new(RefCell::new(None));
+        let s = seen.clone();
+        sim.schedule_at(SimTime::from_millis(100), move |ctx| {
+            let s2 = s.clone();
+            // "In the past" relative to now=100ms.
+            ctx.schedule_at(SimTime::from_millis(10), move |ctx| {
+                *s2.borrow_mut() = Some(ctx.now());
+            });
+        });
+        sim.run();
+        assert_eq!(*seen.borrow(), Some(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn cancellation_prevents_execution() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        let handle = sim.schedule_at(SimTime::from_millis(5), move |_| {
+            *f.borrow_mut() = true;
+        });
+        sim.cancel(handle);
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.processed(), 0);
+    }
+
+    #[test]
+    fn stop_halts_the_loop() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(RefCell::new(0));
+        for ms in 1..=10u64 {
+            let count = count.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |ctx| {
+                *count.borrow_mut() += 1;
+                if ctx.now() == SimTime::from_millis(3) {
+                    ctx.stop();
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*count.borrow(), 3);
+        // A second run resumes from where we stopped.
+        sim.run();
+        assert_eq!(*count.borrow(), 10);
+    }
+
+    #[test]
+    fn run_for_advances_relative_span() {
+        let mut sim = Simulator::new();
+        let n = Rc::new(RefCell::new(0));
+        for s in 1..=5u64 {
+            let n = n.clone();
+            sim.schedule_at(SimTime::from_secs(s), move |_| *n.borrow_mut() += 1);
+        }
+        sim.run_for(Duration::from_secs(2));
+        assert_eq!(*n.borrow(), 2);
+        sim.run_for(Duration::from_secs(2));
+        assert_eq!(*n.borrow(), 4);
+    }
+
+    #[test]
+    fn pending_counts() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(1), |_| {});
+        sim.schedule_at(SimTime::from_secs(2), |_| {});
+        assert_eq!(sim.pending(), 2);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.pending(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Pending-event set for the discrete-event simulator.
+//!
+//! The queue is a binary max-heap over `Reverse(time, sequence)` so that the
+//! earliest event is popped first and events scheduled for the same instant
+//! are delivered in FIFO (insertion) order.  FIFO tie-breaking matters for
+//! protocol correctness: e.g. a tone-pulse "collision" notification scheduled
+//! before a sensor's "retry" decision at the same instant must be observed
+//! first.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A typed simulation event.
+///
+/// Most protocol crates define an enum of events (packet arrival, tone pulse,
+/// radio startup complete, round boundary, ...) and implement this marker
+/// trait for it.  The engine itself treats events opaquely.
+pub trait Event: fmt::Debug {}
+
+impl Event for () {}
+impl<T: fmt::Debug> Event for Option<T> {}
+impl Event for u64 {}
+impl Event for String {}
+
+/// An event together with its firing time and insertion sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// Virtual time at which the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion counter used for FIFO tie-breaking.
+    pub sequence: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.sequence)
+    }
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the binary max-heap yields the *earliest* event first.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A time-ordered pending-event set.
+///
+/// Generic over the event payload type so protocol crates can embed their own
+/// event enums without boxing.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    sequence: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            sequence: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            sequence: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let entry = ScheduledEvent {
+            time,
+            sequence: self.sequence,
+            event,
+        };
+        self.sequence += 1;
+        self.scheduled_total += 1;
+        self.heap.push(entry);
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// Peek at the firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drop every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), "c");
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        let expected: Vec<u32> = (0..100).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), 1u64);
+        q.push(SimTime::from_millis(5), 2u64);
+        assert_eq!(q.pop().unwrap().event, 2);
+        q.push(SimTime::from_millis(7), 3u64);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_and_counters() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(1) + Duration::from_nanos(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        // clearing does not reset the lifetime counter
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! # caem-simcore
+//!
+//! Deterministic discrete-event simulation (DES) substrate used by every other
+//! crate in the CAEM reproduction suite.
+//!
+//! The original paper ("On Channel Adaptive Energy Management in Wireless
+//! Sensor Networks", Lin & Kwok, ICPPW 2005) evaluates CAEM with an ad-hoc
+//! event-driven simulator that is not publicly available.  This crate rebuilds
+//! that substrate from scratch:
+//!
+//! * [`SimTime`] / [`Duration`] — fixed-point virtual time (nanosecond
+//!   resolution) so event ordering is exact and platform independent.
+//! * [`EventQueue`] — a binary-heap pending-event set with FIFO tie-breaking
+//!   for simultaneous events.
+//! * [`Simulator`] — the event loop: schedule closures or typed events, run
+//!   until a deadline or until the queue drains.
+//! * [`rng`] — splittable, seedable random-number streams so every stochastic
+//!   component (traffic, shadowing, fading, LEACH election, backoff) draws
+//!   from an independent, reproducible stream.
+//! * [`stats`] — running statistics (Welford), time-weighted averages,
+//!   histograms and time series used by the metrics crate.
+//!
+//! # Example
+//!
+//! ```
+//! use caem_simcore::{Simulator, SimTime, Duration};
+//!
+//! let mut sim = Simulator::new();
+//! let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+//! let l2 = log.clone();
+//! sim.schedule_in(Duration::from_millis(5), move |ctx| {
+//!     l2.borrow_mut().push(ctx.now());
+//! });
+//! sim.run();
+//! assert_eq!(log.borrow()[0], SimTime::from_millis(5));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{ScheduleHandle, SimContext, Simulator};
+pub use event::{Event, EventQueue, ScheduledEvent};
+pub use rng::{RngStream, StreamId, StreamRng};
+pub use stats::{Histogram, RunningStats, TimeSeries, TimeWeighted};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,540 @@
+//! Statistics primitives shared by the metrics and benchmark crates.
+//!
+//! * [`RunningStats`] — single-pass mean / variance / min / max (Welford).
+//! * [`TimeWeighted`] — time-weighted average of a piecewise-constant signal
+//!   (e.g. queue length, remaining energy between samples).
+//! * [`TimeSeries`] — ordered `(time, value)` samples with resampling helpers
+//!   used to build the figure curves.
+//! * [`Histogram`] — fixed-width bin histogram with quantile estimation used
+//!   for packet-delay distributions.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Single-pass running statistics using Welford's algorithm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl RunningStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add every value of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 if fewer than 2 observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel-reduction friendly).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// `observe(t, v)` records that the signal takes value `v` *from* time `t`
+/// until the next observation.  Used for queue lengths and channel-mode
+/// occupancy, where the paper's metrics are time averages rather than
+/// per-event averages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: Option<SimTime>,
+    last_value: f64,
+    weighted_sum: f64,
+    total_time: f64,
+    max_value: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: None,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            max_value: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record that the signal takes value `value` starting at `time`.
+    ///
+    /// Observations must be fed in non-decreasing time order.
+    pub fn observe(&mut self, time: SimTime, value: f64) {
+        if let Some(prev) = self.last_time {
+            debug_assert!(time >= prev, "observations must be time-ordered");
+            let dt = (time - prev).as_secs_f64();
+            self.weighted_sum += self.last_value * dt;
+            self.total_time += dt;
+        }
+        self.last_time = Some(time);
+        self.last_value = value;
+        self.max_value = self.max_value.max(value);
+    }
+
+    /// Close the observation window at `time` (accounts the final segment).
+    pub fn finish(&mut self, time: SimTime) {
+        self.observe(time, self.last_value);
+    }
+
+    /// The time-weighted average over all closed segments.
+    pub fn average(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            self.last_value
+        } else {
+            self.weighted_sum / self.total_time
+        }
+    }
+
+    /// The largest value observed.
+    pub fn max(&self) -> Option<f64> {
+        (self.max_value != f64::NEG_INFINITY).then_some(self.max_value)
+    }
+
+    /// Total observed span in seconds.
+    pub fn span_secs(&self) -> f64 {
+        self.total_time
+    }
+}
+
+/// An ordered sequence of `(time, value)` samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<(f64, f64)>,
+    name: String,
+}
+
+impl TimeSeries {
+    /// Create an empty, named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            samples: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Series name (used as a column header in figure output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a sample; time is given in seconds.
+    pub fn push(&mut self, time_secs: f64, value: f64) {
+        debug_assert!(
+            self.samples.last().map_or(true, |&(t, _)| time_secs >= t),
+            "samples must be time-ordered"
+        );
+        self.samples.push((time_secs, value));
+    }
+
+    /// Append a sample with a [`SimTime`] timestamp.
+    pub fn push_at(&mut self, time: SimTime, value: f64) {
+        self.push(time.as_secs_f64(), value);
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True iff the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.samples.last().copied()
+    }
+
+    /// Linearly interpolate the value at `time_secs`.
+    ///
+    /// Clamps to the first/last sample outside the observed range; returns
+    /// `None` when the series is empty.
+    pub fn value_at(&self, time_secs: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let first = self.samples[0];
+        let last = *self.samples.last().unwrap();
+        if time_secs <= first.0 {
+            return Some(first.1);
+        }
+        if time_secs >= last.0 {
+            return Some(last.1);
+        }
+        let idx = self
+            .samples
+            .partition_point(|&(t, _)| t <= time_secs)
+            .saturating_sub(1);
+        let (t0, v0) = self.samples[idx];
+        let (t1, v1) = self.samples[idx + 1];
+        if (t1 - t0).abs() < f64::EPSILON {
+            return Some(v1);
+        }
+        let alpha = (time_secs - t0) / (t1 - t0);
+        Some(v0 + alpha * (v1 - v0))
+    }
+
+    /// Resample at a fixed period, linearly interpolating.
+    pub fn resample(&self, start: f64, end: f64, step: f64) -> Vec<(f64, f64)> {
+        assert!(step > 0.0, "resample step must be positive");
+        let mut out = Vec::new();
+        let mut t = start;
+        while t <= end + 1e-9 {
+            if let Some(v) = self.value_at(t) {
+                out.push((t, v));
+            }
+            t += step;
+        }
+        out
+    }
+
+    /// The first time at which the series drops to or below `threshold`
+    /// (the series is assumed to be non-increasing, e.g. remaining energy or
+    /// nodes alive).  Returns `None` if it never does.
+    pub fn first_time_below(&self, threshold: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|&&(_, v)| v <= threshold)
+            .map(|&(t, _)| t)
+    }
+}
+
+/// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Number of underflowed / overflowed observations.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Approximate quantile (0..=1) using within-bin linear interpolation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut cum = self.underflow as f64;
+        if cum >= target && self.underflow > 0 {
+            return Some(self.lo);
+        }
+        for (i, &b) in self.bins.iter().enumerate() {
+            let next = cum + b as f64;
+            if next >= target && b > 0 {
+                let frac = if b == 0 { 0.0 } else { (target - cum) / b as f64 };
+                return Some(self.lo + width * (i as f64 + frac));
+            }
+            cum = next;
+        }
+        Some(self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic() {
+        let mut s = RunningStats::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        whole.extend(data.iter().copied());
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        a.extend(data[..37].iter().copied());
+        b.extend(data[37..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.extend([1.0, 2.0, 3.0]);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), before.count());
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 3);
+        assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        // Signal: 0 for 1s, then 10 for 3s => average = 30/4 = 7.5
+        tw.observe(SimTime::ZERO, 0.0);
+        tw.observe(SimTime::from_secs(1), 10.0);
+        tw.finish(SimTime::from_secs(4));
+        assert!((tw.average() - 7.5).abs() < 1e-9);
+        assert_eq!(tw.max(), Some(10.0));
+        assert!((tw.span_secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_empty_and_point() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.average(), 0.0);
+        let mut tw = TimeWeighted::new();
+        tw.observe(SimTime::from_secs(2), 5.0);
+        // No elapsed time yet; average falls back to the last value.
+        assert_eq!(tw.average(), 5.0);
+    }
+
+    #[test]
+    fn time_series_interpolation() {
+        let mut ts = TimeSeries::new("energy");
+        ts.push(0.0, 10.0);
+        ts.push(10.0, 5.0);
+        ts.push(20.0, 0.0);
+        assert_eq!(ts.value_at(-1.0), Some(10.0));
+        assert_eq!(ts.value_at(25.0), Some(0.0));
+        assert!((ts.value_at(5.0).unwrap() - 7.5).abs() < 1e-12);
+        assert!((ts.value_at(15.0).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(ts.first_time_below(5.0), Some(10.0));
+        assert_eq!(ts.first_time_below(-1.0), None);
+        assert_eq!(ts.name(), "energy");
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.last(), Some((20.0, 0.0)));
+    }
+
+    #[test]
+    fn time_series_resample() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(0.0, 0.0);
+        ts.push(4.0, 8.0);
+        let r = ts.resample(0.0, 4.0, 1.0);
+        assert_eq!(r.len(), 5);
+        assert!((r[2].1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_value_is_none() {
+        let ts = TimeSeries::new("empty");
+        assert_eq!(ts.value_at(1.0), None);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.bins().iter().all(|&b| b == 10));
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 10.0);
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 90.0);
+    }
+
+    #[test]
+    fn histogram_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-5.0);
+        h.record(100.0);
+        h.record(5.0);
+        assert_eq!(h.outliers(), (1, 1));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn histogram_empty_quantile() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

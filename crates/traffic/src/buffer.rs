@@ -1,0 +1,273 @@
+//! Bounded per-node packet buffer.
+//!
+//! Table II fixes the buffer size at 50 packets.  The buffer is the object
+//! CAEM's threshold adjustment watches: its instantaneous length `V(t_i)`
+//! sampled every K arrivals feeds the ΔV traffic predictor, and overflow
+//! (drops) is the failure mode Scheme 1 exists to avoid.  For the fairness
+//! experiment (Fig. 12) the paper instead makes the buffer "substantially
+//! large" so the queue-length standard deviation is measured without drops —
+//! [`PacketBuffer::unbounded`] covers that configuration.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+
+/// The paper's buffer capacity (Table II): 50 packets.
+pub const PAPER_BUFFER_CAPACITY: usize = 50;
+
+/// Drop/occupancy statistics for one buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Packets accepted into the buffer.
+    pub enqueued: u64,
+    /// Packets removed for transmission.
+    pub dequeued: u64,
+    /// Packets dropped because the buffer was full.
+    pub dropped_overflow: u64,
+    /// Largest queue length ever observed.
+    pub high_watermark: usize,
+}
+
+/// A bounded FIFO of packets awaiting transmission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PacketBuffer {
+    queue: VecDeque<Packet>,
+    capacity: Option<usize>,
+    stats: BufferStats,
+}
+
+impl PacketBuffer {
+    /// A buffer with the paper's 50-packet capacity.
+    pub fn paper_default() -> Self {
+        Self::with_capacity(PAPER_BUFFER_CAPACITY)
+    }
+
+    /// A buffer holding at most `capacity` packets.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        PacketBuffer {
+            queue: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: Some(capacity),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// An effectively unbounded buffer (Fig. 12 fairness measurements).
+    pub fn unbounded() -> Self {
+        PacketBuffer {
+            queue: VecDeque::new(),
+            capacity: None,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Current queue length.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Is the buffer at capacity?
+    pub fn is_full(&self) -> bool {
+        match self.capacity {
+            Some(c) => self.queue.len() >= c,
+            None => false,
+        }
+    }
+
+    /// Fraction of the capacity in use (0.0 for unbounded buffers).
+    pub fn occupancy(&self) -> f64 {
+        match self.capacity {
+            Some(c) => self.queue.len() as f64 / c as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Try to enqueue a packet.  Returns `false` (and counts a drop) when the
+    /// buffer is full.
+    pub fn enqueue(&mut self, packet: Packet) -> bool {
+        if self.is_full() {
+            self.stats.dropped_overflow += 1;
+            return false;
+        }
+        self.queue.push_back(packet);
+        self.stats.enqueued += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.queue.len());
+        true
+    }
+
+    /// Peek at the head-of-line packet.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+
+    /// Dequeue the head-of-line packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_front();
+        if p.is_some() {
+            self.stats.dequeued += 1;
+        }
+        p
+    }
+
+    /// Dequeue up to `count` packets (one MAC burst).
+    pub fn dequeue_burst(&mut self, count: usize) -> Vec<Packet> {
+        let take = count.min(self.queue.len());
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            out.push(self.queue.pop_front().expect("length checked"));
+        }
+        self.stats.dequeued += take as u64;
+        out
+    }
+
+    /// Push packets back at the *front* of the queue (a burst aborted by a
+    /// collision returns its unsent packets without reordering).
+    pub fn requeue_front(&mut self, packets: Vec<Packet>) {
+        for p in packets.into_iter().rev() {
+            self.queue.push_front(p);
+            // Requeued packets were already counted as enqueued; keep the
+            // dequeued counter consistent by rolling it back.
+            self.stats.dequeued = self.stats.dequeued.saturating_sub(1);
+        }
+        self.stats.high_watermark = self.stats.high_watermark.max(self.queue.len());
+    }
+
+    /// Buffer statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+}
+
+impl Default for PacketBuffer {
+    fn default() -> Self {
+        PacketBuffer::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+    use caem_simcore::time::SimTime;
+
+    fn pkt(id: u64) -> Packet {
+        Packet::new(PacketId(id), 0, SimTime::from_millis(id))
+    }
+
+    #[test]
+    fn paper_default_capacity() {
+        let b = PacketBuffer::paper_default();
+        assert_eq!(b.capacity(), Some(50));
+        assert!(b.is_empty());
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut b = PacketBuffer::with_capacity(10);
+        for i in 0..5 {
+            assert!(b.enqueue(pkt(i)));
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.peek().unwrap().id, PacketId(0));
+        for i in 0..5 {
+            assert_eq!(b.dequeue().unwrap().id, PacketId(i));
+        }
+        assert!(b.dequeue().is_none());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut b = PacketBuffer::with_capacity(3);
+        for i in 0..5 {
+            b.enqueue(pkt(i));
+        }
+        assert_eq!(b.len(), 3);
+        assert!(b.is_full());
+        let s = b.stats();
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.dropped_overflow, 2);
+        assert_eq!(s.high_watermark, 3);
+        assert!((b.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_never_drops() {
+        let mut b = PacketBuffer::unbounded();
+        for i in 0..10_000 {
+            assert!(b.enqueue(pkt(i)));
+        }
+        assert_eq!(b.len(), 10_000);
+        assert!(!b.is_full());
+        assert_eq!(b.capacity(), None);
+        assert_eq!(b.occupancy(), 0.0);
+        assert_eq!(b.stats().dropped_overflow, 0);
+    }
+
+    #[test]
+    fn burst_dequeue_takes_at_most_count() {
+        let mut b = PacketBuffer::with_capacity(20);
+        for i in 0..6 {
+            b.enqueue(pkt(i));
+        }
+        let burst = b.dequeue_burst(8);
+        assert_eq!(burst.len(), 6);
+        assert_eq!(b.len(), 0);
+        let mut b2 = PacketBuffer::with_capacity(20);
+        for i in 0..12 {
+            b2.enqueue(pkt(i));
+        }
+        let burst = b2.dequeue_burst(8);
+        assert_eq!(burst.len(), 8);
+        assert_eq!(burst[0].id, PacketId(0));
+        assert_eq!(b2.len(), 4);
+        assert_eq!(b2.peek().unwrap().id, PacketId(8));
+    }
+
+    #[test]
+    fn aborted_burst_requeues_in_order() {
+        let mut b = PacketBuffer::with_capacity(20);
+        for i in 0..6 {
+            b.enqueue(pkt(i));
+        }
+        let mut burst = b.dequeue_burst(4);
+        // Two of the four were sent before the collision; the rest go back.
+        let unsent: Vec<Packet> = burst.split_off(2);
+        b.requeue_front(unsent);
+        assert_eq!(b.len(), 4);
+        let order: Vec<u64> = (0..4).map(|_| b.dequeue().unwrap().id.0).collect();
+        assert_eq!(order, vec![2, 3, 4, 5]);
+        // Net dequeued = 4 (burst) - 2 (requeued) + 4 (drained) = 6.
+        assert_eq!(b.stats().dequeued, 6);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut b = PacketBuffer::with_capacity(10);
+        for i in 0..7 {
+            b.enqueue(pkt(i));
+        }
+        b.dequeue_burst(5);
+        for i in 10..13 {
+            b.enqueue(pkt(i));
+        }
+        assert_eq!(b.stats().high_watermark, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        PacketBuffer::with_capacity(0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # caem-traffic
+//!
+//! Workload generation and packet buffering.
+//!
+//! In the paper's evaluation every sensor is a homogeneous Poisson source;
+//! the "added traffic load" swept in Figs. 10–12 is the per-node packet
+//! generation rate (packets/second).  Each node buffers generated packets in
+//! a bounded queue (Table II: 50 packets) until the MAC gets to transmit
+//! them; buffer overflow is one of the failure modes the CAEM Scheme 1
+//! threshold adjustment exists to avoid.
+//!
+//! * [`packet`] — the packet record (origin, creation time, size).
+//! * [`source`] — Poisson, CBR and two-state bursty (MMPP) sources behind a
+//!   common [`source::TrafficSource`] trait.
+//! * [`buffer`] — bounded FIFO with drop accounting and the queue-length
+//!   observations (`V(t_i)`) the CAEM predictor consumes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod packet;
+pub mod source;
+
+pub use buffer::{BufferStats, PacketBuffer, PAPER_BUFFER_CAPACITY};
+pub use packet::{Packet, PacketId};
+pub use source::{BurstySource, CbrSource, PoissonSource, TrafficSource};

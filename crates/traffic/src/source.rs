@@ -1,0 +1,279 @@
+//! Traffic sources.
+//!
+//! The paper's workload: "Each sensor node is a Poisson source, the generated
+//! packet follows a Poisson arrival", with the per-node rate ("added traffic
+//! load") swept from 5 to 30 packets/second.  [`PoissonSource`] is that
+//! model; [`CbrSource`] and [`BurstySource`] are extensions used by the extra
+//! examples and the ablation bench to show CAEM's sensitivity to traffic
+//! burstiness.
+
+use caem_simcore::rng::StreamRng;
+use caem_simcore::time::{Duration, SimTime};
+
+/// A generator of packet arrival instants for one node.
+pub trait TrafficSource {
+    /// The time of the next packet arrival strictly after `now`.
+    fn next_arrival(&mut self, now: SimTime) -> SimTime;
+
+    /// Long-run average rate in packets per second.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Poisson arrivals: exponential inter-arrival times with the given rate.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    rate_pps: f64,
+    rng: StreamRng,
+}
+
+impl PoissonSource {
+    /// Create a Poisson source with `rate_pps` packets per second.
+    pub fn new(rate_pps: f64, rng: StreamRng) -> Self {
+        assert!(rate_pps > 0.0, "Poisson rate must be positive");
+        PoissonSource { rate_pps, rng }
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn next_arrival(&mut self, now: SimTime) -> SimTime {
+        let gap = self.rng.exponential(self.rate_pps);
+        now + Duration::from_secs_f64(gap)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate_pps
+    }
+}
+
+/// Constant-bit-rate arrivals: fixed inter-arrival period.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    period: Duration,
+}
+
+impl CbrSource {
+    /// Create a CBR source with `rate_pps` packets per second.
+    pub fn new(rate_pps: f64) -> Self {
+        assert!(rate_pps > 0.0, "CBR rate must be positive");
+        CbrSource {
+            period: Duration::from_secs_f64(1.0 / rate_pps),
+        }
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn next_arrival(&mut self, now: SimTime) -> SimTime {
+        now + self.period
+    }
+
+    fn mean_rate(&self) -> f64 {
+        1.0 / self.period.as_secs_f64()
+    }
+}
+
+/// Two-state bursty source (a simple Markov-modulated Poisson process).
+///
+/// The source alternates between a *quiet* state and a *burst* state, each
+/// with its own Poisson rate; the state flips at exponentially distributed
+/// epochs.  Models event-driven sensing (e.g. an intrusion triggers a flurry
+/// of reports) better than a homogeneous Poisson stream.
+#[derive(Debug, Clone)]
+pub struct BurstySource {
+    quiet_rate_pps: f64,
+    burst_rate_pps: f64,
+    mean_quiet_s: f64,
+    mean_burst_s: f64,
+    in_burst: bool,
+    state_expires: SimTime,
+    rng: StreamRng,
+}
+
+impl BurstySource {
+    /// Create a bursty source.
+    ///
+    /// * `quiet_rate_pps` / `burst_rate_pps` — Poisson rates in each state.
+    /// * `mean_quiet_s` / `mean_burst_s` — mean sojourn times in each state.
+    pub fn new(
+        quiet_rate_pps: f64,
+        burst_rate_pps: f64,
+        mean_quiet_s: f64,
+        mean_burst_s: f64,
+        rng: StreamRng,
+    ) -> Self {
+        assert!(quiet_rate_pps > 0.0 && burst_rate_pps > 0.0, "rates must be positive");
+        assert!(mean_quiet_s > 0.0 && mean_burst_s > 0.0, "sojourn times must be positive");
+        BurstySource {
+            quiet_rate_pps,
+            burst_rate_pps,
+            mean_quiet_s,
+            mean_burst_s,
+            in_burst: false,
+            state_expires: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    fn maybe_switch_state(&mut self, now: SimTime) {
+        while now >= self.state_expires {
+            self.in_burst = !self.in_burst;
+            let mean = if self.in_burst {
+                self.mean_burst_s
+            } else {
+                self.mean_quiet_s
+            };
+            let sojourn = self.rng.exponential(1.0 / mean);
+            self.state_expires = self.state_expires.max(now) + Duration::from_secs_f64(sojourn);
+        }
+    }
+
+    /// Is the source currently in its burst state?
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+}
+
+impl TrafficSource for BurstySource {
+    fn next_arrival(&mut self, now: SimTime) -> SimTime {
+        // Draw within the current state; if the candidate arrival falls past
+        // the state boundary, move to the boundary and redraw in the new
+        // state (valid because exponential gaps are memoryless).  Without the
+        // redraw the long-run rate is biased low whenever a quiet-state gap
+        // straddles a burst period.
+        let mut t = now;
+        loop {
+            self.maybe_switch_state(t);
+            let rate = if self.in_burst {
+                self.burst_rate_pps
+            } else {
+                self.quiet_rate_pps
+            };
+            let gap = self.rng.exponential(rate);
+            let candidate = t + Duration::from_secs_f64(gap);
+            if candidate <= self.state_expires {
+                return candidate;
+            }
+            t = self.state_expires;
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        // Long-run average weighted by state occupancy.
+        let total = self.mean_quiet_s + self.mean_burst_s;
+        (self.quiet_rate_pps * self.mean_quiet_s + self.burst_rate_pps * self.mean_burst_s) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measure_rate<S: TrafficSource>(source: &mut S, horizon_s: f64) -> f64 {
+        let mut now = SimTime::ZERO;
+        let end = SimTime::from_secs_f64(horizon_s);
+        let mut count = 0u64;
+        loop {
+            now = source.next_arrival(now);
+            if now > end {
+                break;
+            }
+            count += 1;
+        }
+        count as f64 / horizon_s
+    }
+
+    #[test]
+    fn poisson_rate_matches_nominal() {
+        // 5 pkt/s is the Fig. 8/9 operating point.
+        let mut s = PoissonSource::new(5.0, StreamRng::from_seed_u64(1));
+        let rate = measure_rate(&mut s, 2_000.0);
+        assert!((rate - 5.0).abs() < 0.2, "measured {rate}");
+        assert_eq!(s.mean_rate(), 5.0);
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_is_one() {
+        let mut s = PoissonSource::new(10.0, StreamRng::from_seed_u64(2));
+        let mut now = SimTime::ZERO;
+        let mut gaps = Vec::new();
+        for _ in 0..20_000 {
+            let next = s.next_arrival(now);
+            gaps.push((next - now).as_secs_f64());
+            now = next;
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "coefficient of variation {cv}");
+    }
+
+    #[test]
+    fn poisson_arrivals_strictly_increase() {
+        let mut s = PoissonSource::new(30.0, StreamRng::from_seed_u64(3));
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            let next = s.next_arrival(now);
+            assert!(next > now);
+            now = next;
+        }
+    }
+
+    #[test]
+    fn cbr_is_perfectly_regular() {
+        let mut s = CbrSource::new(4.0);
+        let mut now = SimTime::ZERO;
+        for i in 1..=8 {
+            now = s.next_arrival(now);
+            assert_eq!(now, SimTime::from_millis(250 * i));
+        }
+        assert!((s.mean_rate() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_long_run_rate_matches_formula() {
+        let mut s = BurstySource::new(2.0, 40.0, 9.0, 1.0, StreamRng::from_seed_u64(4));
+        let nominal = s.mean_rate();
+        // (2*9 + 40*1)/10 = 5.8 pkt/s
+        assert!((nominal - 5.8).abs() < 1e-9);
+        let measured = measure_rate(&mut s, 5_000.0);
+        assert!(
+            (measured - nominal).abs() < 0.4,
+            "measured {measured} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn bursty_is_burstier_than_poisson() {
+        // Compare inter-arrival coefficient of variation: MMPP > 1.
+        let mut s = BurstySource::new(1.0, 50.0, 5.0, 0.5, StreamRng::from_seed_u64(5));
+        let mut now = SimTime::ZERO;
+        let mut gaps = Vec::new();
+        for _ in 0..20_000 {
+            let next = s.next_arrival(now);
+            gaps.push((next - now).as_secs_f64());
+            now = next;
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.3, "cv = {cv} should exceed Poisson's 1.0");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = PoissonSource::new(5.0, StreamRng::from_seed_u64(9));
+        let mut b = PoissonSource::new(5.0, StreamRng::from_seed_u64(9));
+        let mut ta = SimTime::ZERO;
+        let mut tb = SimTime::ZERO;
+        for _ in 0..100 {
+            ta = a.next_arrival(ta);
+            tb = b.next_arrival(tb);
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        PoissonSource::new(0.0, StreamRng::from_seed_u64(1));
+    }
+}

@@ -1,0 +1,274 @@
+//! Scenario configuration (Table II plus the protocol variant under test).
+
+use caem::config::CaemConfig;
+use caem::policy::PolicyKind;
+use caem_channel::link::LinkBudget;
+use caem_channel::pathloss::PathLossModel;
+use caem_channel::shadowing::ShadowingConfig;
+use caem_channel::Field;
+use caem_cluster::rounds::RoundConfig;
+use caem_energy::codec::CodecEnergyModel;
+use caem_energy::power::RadioPowerProfile;
+use caem_mac::backoff::BackoffConfig;
+use caem_mac::burst::BurstPolicy;
+use caem_mac::tone::ToneSchedule;
+use caem_phy::frame::FrameSpec;
+use caem_simcore::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Which traffic model each sensor runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Homogeneous Poisson arrivals (the paper's workload).
+    Poisson {
+        /// Per-node packet generation rate (packets/second) — the "added
+        /// traffic load" axis of Figs. 10–12.
+        rate_pps: f64,
+    },
+    /// Constant bit rate arrivals.
+    Cbr {
+        /// Per-node packet rate (packets/second).
+        rate_pps: f64,
+    },
+    /// Two-state bursty arrivals (event-driven sensing).
+    Bursty {
+        /// Rate while quiet (packets/second).
+        quiet_rate_pps: f64,
+        /// Rate while bursting (packets/second).
+        burst_rate_pps: f64,
+        /// Mean quiet sojourn (seconds).
+        mean_quiet_s: f64,
+        /// Mean burst sojourn (seconds).
+        mean_burst_s: f64,
+    },
+}
+
+impl TrafficModel {
+    /// Long-run per-node packet rate.
+    pub fn mean_rate_pps(&self) -> f64 {
+        match *self {
+            TrafficModel::Poisson { rate_pps } | TrafficModel::Cbr { rate_pps } => rate_pps,
+            TrafficModel::Bursty {
+                quiet_rate_pps,
+                burst_rate_pps,
+                mean_quiet_s,
+                mean_burst_s,
+            } => {
+                (quiet_rate_pps * mean_quiet_s + burst_rate_pps * mean_burst_s)
+                    / (mean_quiet_s + mean_burst_s)
+            }
+        }
+    }
+}
+
+/// Everything needed to run one simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of sensor nodes (Table II: 100).
+    pub node_count: usize,
+    /// Deployment field (Table II: 100 m × 100 m).
+    pub field: Field,
+    /// Traffic model per node.
+    pub traffic: TrafficModel,
+    /// Buffer capacity per node; `None` = unbounded (the Fig. 12 setup).
+    pub buffer_capacity: Option<usize>,
+    /// Initial battery energy per node in joules (Fig. 8/9: 10 J).
+    pub initial_energy_j: f64,
+    /// Which protocol variant to run.
+    pub policy: PolicyKind,
+    /// CAEM parameters (K, Q_threshold, initial threshold).
+    pub caem: CaemConfig,
+    /// Virtual time horizon of the run.
+    pub duration: Duration,
+    /// Master random seed.
+    pub seed: u64,
+    /// LEACH round timing.
+    pub round: RoundConfig,
+    /// LEACH cluster-head probability (Table II: 5 %).
+    pub ch_probability: f64,
+    /// Radiated-power link budget.
+    pub link_budget: LinkBudget,
+    /// Path-loss model.
+    pub path_loss: PathLossModel,
+    /// Shadowing process parameters.
+    pub shadowing: ShadowingConfig,
+    /// Frame layout (Table II: 2-kbit packets).
+    pub frame: FrameSpec,
+    /// Burst sizing policy (min 3 / max 8).
+    pub burst: BurstPolicy,
+    /// Backoff parameters (CW = 10, slot 20 µs, r ≤ 6).
+    pub backoff: BackoffConfig,
+    /// Tone-channel pulse schedule (Table I).
+    pub tone: ToneSchedule,
+    /// Radio power consumption profile (Table II).
+    pub power: RadioPowerProfile,
+    /// FEC codec energy model (paper default: neglected).
+    pub codec: CodecEnergyModel,
+    /// Sensing delay before the first tone observation after wake-up
+    /// (Table II: 8 ms).
+    pub sensing_delay: Duration,
+    /// How long the cluster head takes to detect an incoming burst and switch
+    /// its tone broadcast from `idle` to `receive` pulses.  This is the
+    /// collision vulnerability window of the tone-signalled CSMA scheme.
+    pub ch_detection_delay: Duration,
+    /// How often the energy tracker snapshots the network.
+    pub energy_snapshot_interval: Duration,
+    /// How often the fairness tracker snapshots the queues.
+    pub fairness_snapshot_interval: Duration,
+}
+
+impl ScenarioConfig {
+    /// The Table II scenario for a given protocol, traffic load and seed.
+    pub fn paper_default(policy: PolicyKind, traffic_rate_pps: f64, seed: u64) -> Self {
+        ScenarioConfig {
+            node_count: 100,
+            field: Field::paper_default(),
+            traffic: TrafficModel::Poisson {
+                rate_pps: traffic_rate_pps,
+            },
+            buffer_capacity: Some(50),
+            initial_energy_j: 10.0,
+            policy,
+            caem: CaemConfig::paper_default(),
+            duration: Duration::from_secs(600),
+            seed,
+            round: RoundConfig::default(),
+            ch_probability: 0.05,
+            link_budget: LinkBudget::paper_default(),
+            path_loss: PathLossModel::paper_default(),
+            shadowing: ShadowingConfig::default(),
+            frame: FrameSpec::paper_default(),
+            burst: BurstPolicy::paper_default(),
+            backoff: BackoffConfig::paper_default(),
+            tone: ToneSchedule::paper_default(),
+            power: RadioPowerProfile::paper_default(),
+            codec: CodecEnergyModel::paper_default(),
+            sensing_delay: Duration::from_millis(8),
+            ch_detection_delay: Duration::from_micros(500),
+            energy_snapshot_interval: Duration::from_secs(5),
+            fairness_snapshot_interval: Duration::from_secs(1),
+        }
+    }
+
+    /// A smaller, faster scenario for unit/integration tests and the
+    /// quickstart example: 20 nodes, 60 s horizon.
+    pub fn small(policy: PolicyKind, traffic_rate_pps: f64, seed: u64) -> Self {
+        let mut cfg = Self::paper_default(policy, traffic_rate_pps, seed);
+        cfg.node_count = 20;
+        cfg.duration = Duration::from_secs(60);
+        cfg
+    }
+
+    /// Set the simulated horizon (builder style).
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Set the per-node traffic rate, keeping the traffic model kind.
+    pub fn with_traffic_rate(mut self, rate_pps: f64) -> Self {
+        self.traffic = match self.traffic {
+            TrafficModel::Poisson { .. } => TrafficModel::Poisson { rate_pps },
+            TrafficModel::Cbr { .. } => TrafficModel::Cbr { rate_pps },
+            bursty => bursty,
+        };
+        self
+    }
+
+    /// Use an unbounded buffer (the Fig. 12 fairness configuration).
+    pub fn with_unbounded_buffers(mut self) -> Self {
+        self.buffer_capacity = None;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sanity-check the configuration, panicking with a descriptive message
+    /// on nonsensical values.  Called by the runner.
+    pub fn validate(&self) {
+        assert!(self.node_count > 0, "node_count must be positive");
+        assert!(self.initial_energy_j > 0.0, "initial energy must be positive");
+        assert!(
+            self.traffic.mean_rate_pps() > 0.0,
+            "traffic rate must be positive"
+        );
+        assert!(
+            self.ch_probability > 0.0 && self.ch_probability <= 1.0,
+            "CH probability must be in (0, 1]"
+        );
+        assert!(!self.duration.is_zero(), "duration must be positive");
+        assert!(
+            !self.energy_snapshot_interval.is_zero()
+                && !self.fairness_snapshot_interval.is_zero(),
+            "snapshot intervals must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_ii() {
+        let cfg = ScenarioConfig::paper_default(PolicyKind::Scheme1Adaptive, 5.0, 1);
+        assert_eq!(cfg.node_count, 100);
+        assert_eq!(cfg.field.width, 100.0);
+        assert_eq!(cfg.buffer_capacity, Some(50));
+        assert_eq!(cfg.initial_energy_j, 10.0);
+        assert_eq!(cfg.ch_probability, 0.05);
+        assert_eq!(cfg.frame.payload_bits, 2_000);
+        assert_eq!(cfg.backoff.contention_window, 10);
+        assert_eq!(cfg.sensing_delay, Duration::from_millis(8));
+        assert_eq!(cfg.traffic.mean_rate_pps(), 5.0);
+        cfg.validate();
+    }
+
+    #[test]
+    fn builders_modify_fields() {
+        let cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 2)
+            .with_duration(Duration::from_secs(30))
+            .with_traffic_rate(12.0)
+            .with_unbounded_buffers()
+            .with_seed(99);
+        assert_eq!(cfg.node_count, 20);
+        assert_eq!(cfg.duration, Duration::from_secs(30));
+        assert_eq!(cfg.traffic.mean_rate_pps(), 12.0);
+        assert_eq!(cfg.buffer_capacity, None);
+        assert_eq!(cfg.seed, 99);
+        cfg.validate();
+    }
+
+    #[test]
+    fn bursty_mean_rate() {
+        let t = TrafficModel::Bursty {
+            quiet_rate_pps: 2.0,
+            burst_rate_pps: 42.0,
+            mean_quiet_s: 9.0,
+            mean_burst_s: 1.0,
+        };
+        assert!((t.mean_rate_pps() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_serializes_round_trip() {
+        let cfg = ScenarioConfig::paper_default(PolicyKind::Scheme2Fixed, 10.0, 7);
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.node_count, cfg.node_count);
+        assert_eq!(back.policy, cfg.policy);
+        assert_eq!(back.seed, cfg.seed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_fails_validation() {
+        let mut cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
+        cfg.node_count = 0;
+        cfg.validate();
+    }
+}

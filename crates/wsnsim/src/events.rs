@@ -1,0 +1,67 @@
+//! The typed events driving the network simulation.
+
+use caem_simcore::event::Event;
+
+/// One event in the network simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkEvent {
+    /// A LEACH round boundary: elect heads, re-form clusters.
+    RoundStart,
+    /// A sensor generates a packet.
+    PacketArrival {
+        /// Generating node index.
+        node: usize,
+    },
+    /// A monitoring sensor samples the tone channel.
+    SenseChannel {
+        /// Sensing node index.
+        node: usize,
+    },
+    /// A sensor's MAC backoff timer expired.
+    BackoffExpired {
+        /// Node whose backoff expired.
+        node: usize,
+    },
+    /// A data burst finished (delivery or collision cleanup happens here).
+    TransmissionComplete {
+        /// Node whose burst ended.
+        node: usize,
+    },
+    /// Periodic network-wide energy snapshot (Fig. 8 sampling).
+    EnergySnapshot,
+    /// Periodic queue-length snapshot (Fig. 12 sampling).
+    FairnessSnapshot,
+}
+
+impl Event for NetworkEvent {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caem_simcore::event::EventQueue;
+    use caem_simcore::time::SimTime;
+
+    #[test]
+    fn events_carry_their_indices() {
+        let e = NetworkEvent::PacketArrival { node: 7 };
+        match e {
+            NetworkEvent::PacketArrival { node } => assert_eq!(node, 7),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn events_queue_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(20), NetworkEvent::RoundStart);
+        q.push(
+            SimTime::from_millis(10),
+            NetworkEvent::SenseChannel { node: 3 },
+        );
+        assert_eq!(
+            q.pop().unwrap().event,
+            NetworkEvent::SenseChannel { node: 3 }
+        );
+        assert_eq!(q.pop().unwrap().event, NetworkEvent::RoundStart);
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-node simulation state.
+
+use caem::policy::{AdaptiveThreshold, FixedThreshold, NoAdaptation, PolicyKind, ThresholdPolicy};
+use caem_channel::geometry::Position;
+use caem_channel::link::LinkChannel;
+use caem_energy::battery::Battery;
+use caem_mac::sensor::SensorMac;
+use caem_phy::adaptation::ModeSelector;
+use caem_traffic::buffer::PacketBuffer;
+use caem_traffic::source::{BurstySource, CbrSource, PoissonSource, TrafficSource};
+
+use crate::config::{ScenarioConfig, TrafficModel};
+
+/// The traffic source variants a node can run (kept as an enum so nodes stay
+/// `Send` and allocation-free in the hot path).
+#[derive(Debug, Clone)]
+pub enum NodeTrafficSource {
+    /// Poisson arrivals.
+    Poisson(PoissonSource),
+    /// Constant-bit-rate arrivals.
+    Cbr(CbrSource),
+    /// Two-state bursty arrivals.
+    Bursty(BurstySource),
+}
+
+impl TrafficSource for NodeTrafficSource {
+    fn next_arrival(&mut self, now: caem_simcore::time::SimTime) -> caem_simcore::time::SimTime {
+        match self {
+            NodeTrafficSource::Poisson(s) => s.next_arrival(now),
+            NodeTrafficSource::Cbr(s) => s.next_arrival(now),
+            NodeTrafficSource::Bursty(s) => s.next_arrival(now),
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        match self {
+            NodeTrafficSource::Poisson(s) => s.mean_rate(),
+            NodeTrafficSource::Cbr(s) => s.mean_rate(),
+            NodeTrafficSource::Bursty(s) => s.mean_rate(),
+        }
+    }
+}
+
+/// Build the policy object for a protocol variant.
+pub fn build_policy(kind: PolicyKind, config: &ScenarioConfig) -> Box<dyn ThresholdPolicy> {
+    match kind {
+        PolicyKind::PureLeach => Box::new(NoAdaptation::new(config.caem.queue_threshold)),
+        PolicyKind::Scheme1Adaptive => Box::new(AdaptiveThreshold::new(config.caem)),
+        PolicyKind::Scheme2Fixed => Box::new(FixedThreshold::new(
+            config.caem.initial_threshold,
+            config.caem.queue_threshold,
+        )),
+    }
+}
+
+/// Build the traffic source for a node from the scenario's traffic model.
+pub fn build_source(
+    model: TrafficModel,
+    rng: caem_simcore::rng::StreamRng,
+) -> NodeTrafficSource {
+    match model {
+        TrafficModel::Poisson { rate_pps } => {
+            NodeTrafficSource::Poisson(PoissonSource::new(rate_pps, rng))
+        }
+        TrafficModel::Cbr { rate_pps } => NodeTrafficSource::Cbr(CbrSource::new(rate_pps)),
+        TrafficModel::Bursty {
+            quiet_rate_pps,
+            burst_rate_pps,
+            mean_quiet_s,
+            mean_burst_s,
+        } => NodeTrafficSource::Bursty(BurstySource::new(
+            quiet_rate_pps,
+            burst_rate_pps,
+            mean_quiet_s,
+            mean_burst_s,
+            rng,
+        )),
+    }
+}
+
+/// The full per-node simulation state.
+pub struct SensorNode {
+    /// Node index.
+    pub id: usize,
+    /// Fixed position in the field.
+    pub position: Position,
+    /// Battery and energy ledger.
+    pub battery: Battery,
+    /// Outgoing packet buffer.
+    pub buffer: PacketBuffer,
+    /// MAC state machine.
+    pub mac: SensorMac,
+    /// CAEM / baseline threshold policy.
+    pub policy: Box<dyn ThresholdPolicy>,
+    /// Traffic generator.
+    pub source: NodeTrafficSource,
+    /// Channel to the current cluster head (absent while the node itself is
+    /// head or unassigned).
+    pub link: LinkChannel,
+    /// PHY mode selector for this node's transmissions.
+    pub selector: ModeSelector,
+    /// Is the node's battery still non-empty?
+    pub alive: bool,
+    /// Is the node serving as cluster head in the current round?
+    pub is_head: bool,
+    /// Cluster index the node belongs to this round (if any).
+    pub cluster: Option<usize>,
+    /// Packets this node delivered while serving as a head (its own data
+    /// reaches the sink for free).
+    pub self_delivered: u64,
+    /// Generation counter of MAC access attempts, used to invalidate stale
+    /// backoff events after a round change or abort.
+    pub access_generation: u64,
+}
+
+impl SensorNode {
+    /// Queue length visible to the MAC/policy.
+    pub fn queue_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Remaining battery energy (J); zero once dead.
+    pub fn remaining_energy(&self) -> f64 {
+        self.battery.remaining()
+    }
+}
+
+impl std::fmt::Debug for SensorNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SensorNode")
+            .field("id", &self.id)
+            .field("alive", &self.alive)
+            .field("is_head", &self.is_head)
+            .field("queue", &self.buffer.len())
+            .field("remaining_j", &self.battery.remaining())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caem_simcore::rng::StreamRng;
+    use caem_simcore::time::SimTime;
+
+    #[test]
+    fn policy_factory_builds_all_kinds() {
+        let cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
+        assert_eq!(
+            build_policy(PolicyKind::PureLeach, &cfg).kind(),
+            PolicyKind::PureLeach
+        );
+        assert_eq!(
+            build_policy(PolicyKind::Scheme1Adaptive, &cfg).kind(),
+            PolicyKind::Scheme1Adaptive
+        );
+        assert_eq!(
+            build_policy(PolicyKind::Scheme2Fixed, &cfg).kind(),
+            PolicyKind::Scheme2Fixed
+        );
+    }
+
+    #[test]
+    fn source_factory_builds_all_models() {
+        let rng = || StreamRng::from_seed_u64(1);
+        let mut p = build_source(TrafficModel::Poisson { rate_pps: 5.0 }, rng());
+        let mut c = build_source(TrafficModel::Cbr { rate_pps: 5.0 }, rng());
+        let mut b = build_source(
+            TrafficModel::Bursty {
+                quiet_rate_pps: 1.0,
+                burst_rate_pps: 10.0,
+                mean_quiet_s: 5.0,
+                mean_burst_s: 1.0,
+            },
+            rng(),
+        );
+        for s in [&mut p, &mut c, &mut b] {
+            let t = s.next_arrival(SimTime::ZERO);
+            assert!(t > SimTime::ZERO);
+            assert!(s.mean_rate() > 0.0);
+        }
+        assert_eq!(c.mean_rate(), 5.0);
+    }
+}

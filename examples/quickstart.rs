@@ -1,0 +1,50 @@
+//! Quickstart: simulate one small CAEM-LEACH network and print what happened.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use caem_suite::caem::policy::PolicyKind;
+use caem_suite::energy::battery::EnergyCategory;
+use caem_suite::wsnsim::{ScenarioConfig, SimulationRun};
+
+fn main() {
+    // A 20-node network running the full CAEM Scheme 1 stack (adaptive
+    // threshold adjustment on top of LEACH) for 60 simulated seconds.
+    let config = ScenarioConfig::small(PolicyKind::Scheme1Adaptive, 5.0, 42);
+    println!(
+        "simulating {} nodes for {} under {}",
+        config.node_count,
+        config.duration,
+        config.policy
+    );
+
+    let result = SimulationRun::new(config).run();
+
+    println!("\n== outcome ==");
+    println!("packets generated : {}", result.perf.generated());
+    println!("packets delivered : {}", result.perf.delivered());
+    println!("delivery rate     : {:.1}%", result.delivery_rate() * 100.0);
+    println!("mean packet delay : {:.1} ms", result.perf.average_delay_ms());
+    println!("bursts / collisions: {} / {}", result.bursts, result.collisions);
+    println!(
+        "energy per packet : {:.3} mJ",
+        result
+            .per_packet_energy()
+            .millijoules_per_packet()
+            .unwrap_or(f64::NAN)
+    );
+    println!(
+        "average remaining energy: {:.2} J of {:.0} J",
+        result.energy.series().last().map(|(_, v)| v).unwrap_or(0.0),
+        10.0
+    );
+
+    println!("\n== where the energy went (network-wide) ==");
+    for category in EnergyCategory::ALL {
+        let joules = result.ledger.by_category(category);
+        if joules > 0.0 {
+            println!("  {category:<10} {joules:>8.3} J");
+        }
+    }
+}
