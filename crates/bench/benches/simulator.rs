@@ -36,13 +36,17 @@ fn bench_load_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_load_scaling_20nodes_20s");
     group.sample_size(10);
     for load in [5.0f64, 15.0, 30.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(load as u64), &load, |b, &load| {
-            b.iter(|| {
-                let cfg = ScenarioConfig::small(PolicyKind::Scheme1Adaptive, load, 7)
-                    .with_duration(Duration::from_secs(20));
-                SimulationRun::new(cfg).run()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(load as u64),
+            &load,
+            |b, &load| {
+                b.iter(|| {
+                    let cfg = ScenarioConfig::small(PolicyKind::Scheme1Adaptive, load, 7)
+                        .with_duration(Duration::from_secs(20));
+                    SimulationRun::new(cfg).run()
+                });
+            },
+        );
     }
     group.finish();
 }

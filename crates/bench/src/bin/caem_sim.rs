@@ -80,5 +80,8 @@ fn main() {
         "avg_remaining_energy_series": result.energy.series().samples(),
         "nodes_alive_series": result.lifetime.alive_series().samples(),
     });
-    println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
 }

@@ -27,11 +27,8 @@ fn main() {
     let horizon_s: u64 = if quick { 300 } else { 2_500 };
 
     let points = load_sweep(&loads, |policy, load| {
-        apply_quick(
-            ScenarioConfig::paper_default(policy, load, seed),
-            quick,
-        )
-        .with_duration(Duration::from_secs(horizon_s))
+        apply_quick(ScenarioConfig::paper_default(policy, load, seed), quick)
+            .with_duration(Duration::from_secs(horizon_s))
     });
 
     let mut columns = vec![Column::new("added_traffic_load_pps", loads.clone())];

@@ -51,7 +51,10 @@ fn main() {
     let savings: Vec<f64> = points
         .iter()
         .map(|p| {
-            let s1 = p.comparison.get(PolicyKind::Scheme1Adaptive).per_packet_energy();
+            let s1 = p
+                .comparison
+                .get(PolicyKind::Scheme1Adaptive)
+                .per_packet_energy();
             let leach = p.comparison.get(PolicyKind::PureLeach).per_packet_energy();
             s1.saving_vs(&leach).map(|s| s * 100.0).unwrap_or(f64::NAN)
         })

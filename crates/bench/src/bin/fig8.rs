@@ -22,10 +22,8 @@ fn main() {
 
     let horizon = if quick { 120.0 } else { 600.0 };
     let step = if quick { 10.0 } else { 50.0 };
-    let times: Vec<f64> = std::iter::successors(Some(0.0), |t| {
-        (*t + step <= horizon).then(|| t + step)
-    })
-    .collect();
+    let times: Vec<f64> =
+        std::iter::successors(Some(0.0), |t| (*t + step <= horizon).then(|| t + step)).collect();
 
     let mut columns = vec![Column::new("elapsed_time_s", times.clone())];
     for &policy in &PAPER_POLICIES {
@@ -49,13 +47,7 @@ fn main() {
     // more energy than pure LEACH, Scheme 2 the most.
     let final_remaining: Vec<f64> = PAPER_POLICIES
         .iter()
-        .map(|&p| {
-            comparison
-                .get(p)
-                .energy
-                .average_at(horizon)
-                .unwrap_or(0.0)
-        })
+        .map(|&p| comparison.get(p).energy.average_at(horizon).unwrap_or(0.0))
         .collect();
     println!(
         "final average remaining energy: pure LEACH {:.2} J, Scheme 1 {:.2} J, Scheme 2 {:.2} J",

@@ -1,21 +1,39 @@
-//! Experiment E7 (long-version extension): network performance versus load —
-//! average packet delay, aggregate throughput and successful delivery rate
-//! for the three protocols.
+//! Experiment E7 (long-version extension) **plus** the engine throughput
+//! harness.
 //!
-//! The short paper defines these metrics (Section IV-A) but defers their
-//! plots to the technical-report long version; this binary produces them for
-//! the reproduction so the energy/performance trade-off the conclusions talk
-//! about is visible.
+//! Two jobs in one binary:
+//!
+//! 1. Network-performance metrics versus load — average packet delay,
+//!    aggregate throughput and successful delivery rate for the three
+//!    protocols (the Section IV-A metrics whose plots the short paper defers
+//!    to its long version).
+//! 2. A wall-clock throughput benchmark of the simulator itself: every
+//!    scenario is run serially under a timer and reported as *events/sec*,
+//!    giving the repository a perf trajectory across PRs.  Results are
+//!    written to `BENCH_netperf.json` at the repository root.
 //!
 //! ```bash
 //! cargo run -p caem-bench --release --bin netperf
+//! cargo run -p caem-bench --release --bin netperf -- --quick   # smoke variant
 //! ```
+
+use std::time::Instant;
 
 use caem_bench::{apply_quick, emit, policy_label, quick_mode, seed_from_args};
 use caem_metrics::report::{Column, Table};
 use caem_simcore::time::Duration;
-use caem_wsnsim::sweep::{load_sweep, PAPER_POLICIES};
-use caem_wsnsim::ScenarioConfig;
+use caem_wsnsim::sweep::{LoadSweepPoint, PolicyComparison, PAPER_POLICIES};
+use caem_wsnsim::{ScenarioConfig, SimulationRun};
+
+/// Timing record for one simulated scenario.
+struct ScenarioTiming {
+    policy: &'static str,
+    load_pps: f64,
+    wall_clock_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    sim_seconds: f64,
+}
 
 fn main() {
     let seed = seed_from_args();
@@ -27,10 +45,37 @@ fn main() {
     };
     let horizon_s: u64 = if quick { 200 } else { 600 };
 
-    let points = load_sweep(&loads, |policy, load| {
-        apply_quick(ScenarioConfig::paper_default(policy, load, seed), quick)
-            .with_duration(Duration::from_secs(horizon_s))
-    });
+    // Run every (load, policy) scenario serially under its own timer: serial
+    // execution keeps the wall-clock attribution per scenario clean even on
+    // many-core hosts (a rayon fan-out would overlap the intervals).
+    let mut timings: Vec<ScenarioTiming> = Vec::new();
+    let mut points: Vec<LoadSweepPoint> = Vec::new();
+    let bench_started = Instant::now();
+    for &load in &loads {
+        let mut results = Vec::new();
+        for &policy in &PAPER_POLICIES {
+            let cfg = apply_quick(ScenarioConfig::paper_default(policy, load, seed), quick)
+                .with_duration(Duration::from_secs(horizon_s));
+            let sim_seconds = cfg.duration.as_secs_f64();
+            let started = Instant::now();
+            let result = SimulationRun::new(cfg).run();
+            let wall_clock_s = started.elapsed().as_secs_f64();
+            timings.push(ScenarioTiming {
+                policy: policy_label(policy),
+                load_pps: load,
+                wall_clock_s,
+                events: result.events_processed,
+                events_per_sec: result.events_processed as f64 / wall_clock_s.max(1e-9),
+                sim_seconds,
+            });
+            results.push(result);
+        }
+        points.push(LoadSweepPoint {
+            load_pps: load,
+            comparison: PolicyComparison { results },
+        });
+    }
+    let total_wall_s = bench_started.elapsed().as_secs_f64();
 
     // One table per metric, matching how the long version would plot them.
     for (metric, extractor) in [
@@ -58,5 +103,65 @@ fn main() {
         }
         let table = Table::new(format!("E7 — {metric} versus traffic load"), columns);
         emit(&table);
+    }
+
+    // Engine throughput report.
+    let total_events: u64 = timings.iter().map(|t| t.events).sum();
+    let sum_scenario_wall: f64 = timings.iter().map(|t| t.wall_clock_s).sum();
+    let aggregate_eps = total_events as f64 / sum_scenario_wall.max(1e-9);
+    println!("== engine throughput (events/sec, wall-clock per scenario) ==");
+    println!(
+        "{:<24} {:>10} {:>12} {:>14} {:>12}",
+        "scenario", "load_pps", "wall_s", "events", "events/sec"
+    );
+    for t in &timings {
+        println!(
+            "{:<24} {:>10.1} {:>12.4} {:>14} {:>12.0}",
+            t.policy, t.load_pps, t.wall_clock_s, t.events, t.events_per_sec
+        );
+    }
+    println!(
+        "aggregate: {total_events} events in {sum_scenario_wall:.3} s = {aggregate_eps:.0} events/sec"
+    );
+
+    let scenarios: Vec<serde_json::Value> = timings
+        .iter()
+        .map(|t| {
+            serde_json::json!({
+                "policy": t.policy,
+                "load_pps": t.load_pps,
+                "wall_clock_s": t.wall_clock_s,
+                "events": t.events,
+                "events_per_sec": t.events_per_sec,
+                "sim_seconds": t.sim_seconds,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "benchmark": "netperf",
+        "seed": seed,
+        "quick": quick,
+        "scenario_count": timings.len(),
+        "wall_clock_s": sum_scenario_wall,
+        "harness_wall_clock_s": total_wall_s,
+        "total_events": total_events,
+        "events_per_sec": aggregate_eps,
+        "scenarios": scenarios,
+    });
+    // Quick smoke runs measure a reduced scenario; route them to a separate
+    // (gitignored) file so they can never clobber the committed perf
+    // trajectory recorded from full runs.
+    let out_path = if quick {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_netperf_quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netperf.json")
+    };
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    match std::fs::write(out_path, text) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
 }

@@ -31,7 +31,5 @@ pub mod policy;
 pub mod predictor;
 
 pub use config::CaemConfig;
-pub use policy::{
-    AdaptiveThreshold, FixedThreshold, NoAdaptation, PolicyKind, ThresholdPolicy,
-};
+pub use policy::{AdaptiveThreshold, FixedThreshold, NoAdaptation, PolicyKind, ThresholdPolicy};
 pub use predictor::{QueuePredictor, Trend};

@@ -128,7 +128,10 @@ pub struct FixedThreshold {
 impl FixedThreshold {
     /// Create a fixed-threshold policy at the paper's 2 Mbps.
     pub fn paper_default() -> Self {
-        FixedThreshold::new(TransmissionMode::Mbps2, CaemConfig::paper_default().queue_threshold)
+        FixedThreshold::new(
+            TransmissionMode::Mbps2,
+            CaemConfig::paper_default().queue_threshold,
+        )
     }
 
     /// Create a fixed-threshold policy at an arbitrary mode (ablations).
@@ -281,7 +284,10 @@ mod tests {
         assert_eq!(p.kind(), PolicyKind::PureLeach);
         assert_eq!(p.current_threshold(), None);
         // Required SNR falls back to the lowest mode's requirement.
-        assert_eq!(p.required_snr_db(), TransmissionMode::Kbps250.required_snr_db());
+        assert_eq!(
+            p.required_snr_db(),
+            TransmissionMode::Kbps250.required_snr_db()
+        );
         assert!(!p.is_urgent(5));
         assert!(p.is_urgent(15));
     }

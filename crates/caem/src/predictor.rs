@@ -88,9 +88,7 @@ impl QueuePredictor {
         }
         self.arrivals_since_sample = 0;
         self.samples_taken += 1;
-        let delta = self
-            .last_sample
-            .map(|prev| queue_len as i64 - prev as i64);
+        let delta = self.last_sample.map(|prev| queue_len as i64 - prev as i64);
         self.last_sample = Some(queue_len);
         if delta.is_some() {
             self.last_delta = delta;

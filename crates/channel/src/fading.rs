@@ -203,8 +203,14 @@ mod tests {
         }
         let frac_median = below_median as f64 / n as f64;
         let frac_deep = deep_fade as f64 / n as f64;
-        assert!((frac_median - 0.5).abs() < 0.03, "median frac {frac_median}");
-        assert!((frac_deep - 0.095).abs() < 0.02, "deep fade frac {frac_deep}");
+        assert!(
+            (frac_median - 0.5).abs() < 0.03,
+            "median frac {frac_median}"
+        );
+        assert!(
+            (frac_deep - 0.095).abs() < 0.02,
+            "deep fade frac {frac_deep}"
+        );
     }
 
     #[test]

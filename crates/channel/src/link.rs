@@ -104,6 +104,17 @@ pub struct LinkQualityReport {
 }
 
 /// The time-varying channel between one sensor and one cluster head.
+///
+/// Two layers of caching keep repeated CSI queries off the transcendental
+/// math (`log10`, `exp`, normal draws) that dominates the simulator's event
+/// loop:
+///
+/// * the deterministic path loss is a pure function of the (rarely changing)
+///   link distance, so it is computed once per `set_distance`;
+/// * a full [`LinkQualityReport`] is memoised per instant — the shadowing and
+///   fading processes are frozen within one instant by construction, so a
+///   same-time re-measurement (e.g. the sense → decide → transmit chain of
+///   one MAC event) returns bit-identical values without re-deriving them.
 #[derive(Debug, Clone)]
 pub struct LinkChannel {
     budget: LinkBudget,
@@ -111,6 +122,10 @@ pub struct LinkChannel {
     shadowing: ShadowingProcess,
     fading: RayleighFading,
     distance_m: f64,
+    /// Path loss at `distance_m`, recomputed only when the distance changes.
+    cached_path_loss_db: f64,
+    /// Most recent measurement, keyed by its instant.
+    last_report: Option<(SimTime, LinkQualityReport)>,
 }
 
 impl LinkChannel {
@@ -129,13 +144,14 @@ impl LinkChannel {
         shadowing_rng: StreamRng,
         fading_rng: StreamRng,
     ) -> Self {
-        LinkChannel {
+        Self::with_distance(
+            a.distance_to(&b),
             budget,
             path_loss,
-            shadowing: ShadowingProcess::new(shadowing_config, shadowing_rng),
-            fading: RayleighFading::with_default_coherence(fading_rng),
-            distance_m: a.distance_to(&b),
-        }
+            shadowing_config,
+            shadowing_rng,
+            fading_rng,
+        )
     }
 
     /// Create a link with an explicit distance (used by tests and by the
@@ -154,6 +170,8 @@ impl LinkChannel {
             shadowing: ShadowingProcess::new(shadowing_config, shadowing_rng),
             fading: RayleighFading::with_default_coherence(fading_rng),
             distance_m,
+            cached_path_loss_db: path_loss.loss_db(distance_m),
+            last_report: None,
         }
     }
 
@@ -167,6 +185,8 @@ impl LinkChannel {
     pub fn set_distance(&mut self, distance_m: f64) {
         assert!(distance_m >= 0.0, "distance must be non-negative");
         self.distance_m = distance_m;
+        self.cached_path_loss_db = self.path_loss.loss_db(distance_m);
+        self.last_report = None;
     }
 
     /// The static link budget.
@@ -181,20 +201,30 @@ impl LinkChannel {
     /// channels share attenuation and fading), so the sensor's tone-based
     /// estimate equals the data-channel CSI up to the transmit-power offset.
     pub fn measure(&mut self, now: SimTime) -> LinkQualityReport {
-        let path_loss_db = self.path_loss.loss_db(self.distance_m);
+        // Same-instant cache: within one instant the shadowing and fading
+        // processes return their frozen state, so the recomputation would be
+        // bit-identical — skip it.
+        if let Some((at, report)) = self.last_report {
+            if at == now {
+                return report;
+            }
+        }
+        let path_loss_db = self.cached_path_loss_db;
         let shadowing_db = self.shadowing.sample_db(now);
         let fading_db = self.fading.gain_db(now);
         let gain_db = -path_loss_db - shadowing_db + fading_db + self.budget.antenna_gain_db;
         let snr_db = self.budget.data_tx_dbm() + gain_db - self.budget.noise_floor_dbm;
         let tone_snr_db = self.budget.tone_tx_dbm() + gain_db - self.budget.noise_floor_dbm;
-        LinkQualityReport {
+        let report = LinkQualityReport {
             distance_m: self.distance_m,
             path_loss_db,
             shadowing_db,
             fading_db,
             snr_db,
             tone_snr_db,
-        }
+        };
+        self.last_report = Some((now, report));
+        report
     }
 
     /// Convenience: just the data-channel SNR in dB.
@@ -228,7 +258,10 @@ mod tests {
         // ratio from Table II (≈ 8.56 dB).
         let ratio_db = b.data_tx_dbm() - b.tone_tx_dbm();
         let table_ii_ratio_db = 10.0 * (0.66f64 / 0.092).log10();
-        assert!((ratio_db - table_ii_ratio_db).abs() < 0.1, "ratio {ratio_db}");
+        assert!(
+            (ratio_db - table_ii_ratio_db).abs() < 0.1,
+            "ratio {ratio_db}"
+        );
         assert_eq!(b.noise_floor_dbm, -101.0);
         // Constructing from radiated watts agrees with the dBm fields.
         let w = LinkBudget::from_radiated_watts(0.001, 0.000_138, -101.0);
@@ -254,7 +287,10 @@ mod tests {
             (6.0..26.0).contains(&mid),
             "45 m average SNR {mid} should sit near the mode boundaries"
         );
-        assert!(avg_snr(140.0) < 12.0, "the field diagonal should be a poor link");
+        assert!(
+            avg_snr(140.0) < 12.0,
+            "the field diagonal should be a poor link"
+        );
     }
 
     #[test]
@@ -310,9 +346,8 @@ mod tests {
         let mut link = make_link(30.0, 4);
         let r = link.measure(SimTime::from_secs(1));
         let budget = LinkBudget::paper_default();
-        let expected =
-            budget.data_tx_dbm() - r.path_loss_db - r.shadowing_db + r.fading_db
-                - budget.noise_floor_dbm;
+        let expected = budget.data_tx_dbm() - r.path_loss_db - r.shadowing_db + r.fading_db
+            - budget.noise_floor_dbm;
         assert!((r.snr_db - expected).abs() < 1e-9);
         assert_eq!(r.distance_m, 30.0);
     }
@@ -345,6 +380,23 @@ mod tests {
             streams.derive(components::FADING, 1),
         );
         assert!((link.distance_m() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_instant_cache_is_transparent() {
+        // A link measured twice at the same instant must behave exactly like
+        // a link measured once: identical report, and the *next* measurement
+        // (which advances the random processes) must also be identical.
+        let mut cached = make_link(40.0, 21);
+        let mut fresh = make_link(40.0, 21);
+        let t1 = SimTime::from_millis(100);
+        let t2 = SimTime::from_millis(137);
+        let first = cached.measure(t1);
+        let repeat = cached.measure(t1);
+        assert_eq!(first, repeat);
+        assert_eq!(fresh.measure(t1), first);
+        // RNG state untouched by the cached re-measurement:
+        assert_eq!(cached.measure(t2), fresh.measure(t2));
     }
 
     #[test]

@@ -77,9 +77,7 @@ impl PathLossModel {
     pub fn loss_db(&self, distance_m: f64) -> f64 {
         let d = distance_m.max(0.1);
         match *self {
-            PathLossModel::FreeSpace { frequency_hz } => {
-                Self::free_space_loss_db(d, frequency_hz)
-            }
+            PathLossModel::FreeSpace { frequency_hz } => Self::free_space_loss_db(d, frequency_hz),
             PathLossModel::TwoRayGround {
                 frequency_hz,
                 tx_height_m,
@@ -118,7 +116,9 @@ mod tests {
 
     #[test]
     fn free_space_matches_friis() {
-        let m = PathLossModel::FreeSpace { frequency_hz: 916e6 };
+        let m = PathLossModel::FreeSpace {
+            frequency_hz: 916e6,
+        };
         // Friis at 100 m, 916 MHz: 20 log10(4*pi*100/0.3273) ≈ 71.7 dB
         let loss = m.loss_db(100.0);
         assert!((loss - 71.68).abs() < 0.3, "loss = {loss}");
@@ -144,7 +144,9 @@ mod tests {
     fn loss_is_monotonic_in_distance() {
         for model in [
             PathLossModel::paper_default(),
-            PathLossModel::FreeSpace { frequency_hz: 916e6 },
+            PathLossModel::FreeSpace {
+                frequency_hz: 916e6,
+            },
             PathLossModel::TwoRayGround {
                 frequency_hz: 916e6,
                 tx_height_m: 0.5,
@@ -177,7 +179,9 @@ mod tests {
             tx_height_m: 1.0,
             rx_height_m: 1.0,
         };
-        let fs = PathLossModel::FreeSpace { frequency_hz: 916e6 };
+        let fs = PathLossModel::FreeSpace {
+            frequency_hz: 916e6,
+        };
         // Crossover ≈ 4*pi*1*1/0.327 ≈ 38 m; below that they match.
         assert!((m.loss_db(10.0) - fs.loss_db(10.0)).abs() < 1e-9);
         // Far beyond crossover the two-ray slope is 40 dB/decade.

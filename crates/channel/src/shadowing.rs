@@ -130,10 +130,7 @@ mod tests {
 
     #[test]
     fn disabled_shadowing_is_zero() {
-        let mut p = ShadowingProcess::new(
-            ShadowingConfig::disabled(),
-            StreamRng::from_seed_u64(1),
-        );
+        let mut p = ShadowingProcess::new(ShadowingConfig::disabled(), StreamRng::from_seed_u64(1));
         for s in 0..10 {
             assert_eq!(p.sample_db(SimTime::from_secs(s)), 0.0);
         }

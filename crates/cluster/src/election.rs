@@ -116,19 +116,14 @@ impl LeachElection {
     pub fn elect_round(&mut self, alive: &[bool], rng: &mut StreamRng) -> Vec<usize> {
         assert_eq!(alive.len(), self.eligible.len(), "alive mask size mismatch");
         // Epoch rollover: when nobody is left in G, everybody re-enters.
-        if self
-            .eligible
-            .iter()
-            .zip(alive)
-            .all(|(&e, &a)| !e || !a)
-        {
+        if self.eligible.iter().zip(alive).all(|(&e, &a)| !e || !a) {
             for e in &mut self.eligible {
                 *e = true;
             }
         }
         let mut heads = Vec::new();
-        for node in 0..self.eligible.len() {
-            if !alive[node] {
+        for (node, &node_alive) in alive.iter().enumerate().take(self.eligible.len()) {
+            if !node_alive {
                 continue;
             }
             let t = self.threshold(node);
@@ -162,11 +157,17 @@ mod tests {
     fn epoch_length_from_probability() {
         assert_eq!(ElectionConfig::default().epoch_length(), 20);
         assert_eq!(
-            ElectionConfig { ch_probability: 0.1 }.epoch_length(),
+            ElectionConfig {
+                ch_probability: 0.1
+            }
+            .epoch_length(),
             10
         );
         assert_eq!(
-            ElectionConfig { ch_probability: 1.0 }.epoch_length(),
+            ElectionConfig {
+                ch_probability: 1.0
+            }
+            .epoch_length(),
             1
         );
     }
@@ -178,16 +179,21 @@ mod tests {
         assert!((e.threshold(0) - 0.05).abs() < 1e-12);
         let mut e = LeachElection::new(10, ElectionConfig::default());
         e.round = 10; // mid-epoch
-        // T = 0.05 / (1 - 0.05*10) = 0.1
+                      // T = 0.05 / (1 - 0.05*10) = 0.1
         assert!((e.threshold(0) - 0.1).abs() < 1e-12);
         e.round = 19; // last round of the epoch
-        // T = 0.05 / (1 - 0.95) = 1.0
+                      // T = 0.05 / (1 - 0.95) = 1.0
         assert!((e.threshold(0) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn ineligible_nodes_have_zero_threshold() {
-        let mut e = LeachElection::new(4, ElectionConfig { ch_probability: 0.25 });
+        let mut e = LeachElection::new(
+            4,
+            ElectionConfig {
+                ch_probability: 0.25,
+            },
+        );
         let alive = vec![true; 4];
         let mut rng = StreamRng::from_seed_u64(1);
         let heads = e.elect_round(&alive, &mut rng);
@@ -241,7 +247,12 @@ mod tests {
 
     #[test]
     fn within_one_epoch_no_node_serves_twice() {
-        let mut e = LeachElection::new(40, ElectionConfig { ch_probability: 0.1 });
+        let mut e = LeachElection::new(
+            40,
+            ElectionConfig {
+                ch_probability: 0.1,
+            },
+        );
         let alive = vec![true; 40];
         let mut rng = StreamRng::from_seed_u64(5);
         let mut served = std::collections::HashSet::new();
@@ -256,10 +267,15 @@ mod tests {
 
     #[test]
     fn dead_nodes_are_never_elected() {
-        let mut e = LeachElection::new(10, ElectionConfig { ch_probability: 0.3 });
+        let mut e = LeachElection::new(
+            10,
+            ElectionConfig {
+                ch_probability: 0.3,
+            },
+        );
         let mut alive = vec![true; 10];
-        for dead in 0..5 {
-            alive[dead] = false;
+        for slot in alive.iter_mut().take(5) {
+            *slot = false;
         }
         let mut rng = StreamRng::from_seed_u64(6);
         for _ in 0..50 {
@@ -271,7 +287,12 @@ mod tests {
 
     #[test]
     fn epoch_rolls_over_when_everyone_has_served() {
-        let mut e = LeachElection::new(3, ElectionConfig { ch_probability: 0.5 });
+        let mut e = LeachElection::new(
+            3,
+            ElectionConfig {
+                ch_probability: 0.5,
+            },
+        );
         let alive = vec![true; 3];
         let mut rng = StreamRng::from_seed_u64(7);
         for _ in 0..20 {
@@ -279,13 +300,22 @@ mod tests {
         }
         // All three nodes must have served several times — the epoch reset
         // re-admits them after exhaustion.
-        assert!(e.head_counts().iter().all(|&c| c >= 2), "{:?}", e.head_counts());
+        assert!(
+            e.head_counts().iter().all(|&c| c >= 2),
+            "{:?}",
+            e.head_counts()
+        );
     }
 
     #[test]
     #[should_panic]
     fn invalid_probability_rejected() {
-        LeachElection::new(10, ElectionConfig { ch_probability: 0.0 });
+        LeachElection::new(
+            10,
+            ElectionConfig {
+                ch_probability: 0.0,
+            },
+        );
     }
 
     #[test]

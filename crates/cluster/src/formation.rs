@@ -42,8 +42,15 @@ impl ClusterFormation {
     /// * `heads` — indices of this round's cluster heads.
     /// * `alive` — liveness mask; dead nodes get no assignment.
     pub fn nearest_head(positions: &[Position], heads: &[usize], alive: &[bool]) -> Self {
-        assert_eq!(positions.len(), alive.len(), "positions/alive length mismatch");
-        assert!(!heads.is_empty(), "cluster formation needs at least one head");
+        assert_eq!(
+            positions.len(),
+            alive.len(),
+            "positions/alive length mismatch"
+        );
+        assert!(
+            !heads.is_empty(),
+            "cluster formation needs at least one head"
+        );
         for &h in heads {
             assert!(h < positions.len(), "head index out of range");
             debug_assert!(alive[h], "dead node cannot be a head");
@@ -223,11 +230,8 @@ mod tests {
         let positions = field.random_deployment(100, &mut rng);
         let alive = vec![true; 100];
         let few = ClusterFormation::nearest_head(&positions, &[0, 50], &alive);
-        let many =
-            ClusterFormation::nearest_head(&positions, &[0, 10, 30, 50, 70, 90], &alive);
-        assert!(
-            many.mean_member_distance(&positions) < few.mean_member_distance(&positions)
-        );
+        let many = ClusterFormation::nearest_head(&positions, &[0, 10, 30, 50, 70, 90], &alive);
+        assert!(many.mean_member_distance(&positions) < few.mean_member_distance(&positions));
     }
 
     #[test]

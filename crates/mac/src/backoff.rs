@@ -125,7 +125,10 @@ mod tests {
     use super::*;
 
     fn scheduler(seed: u64) -> BackoffScheduler {
-        BackoffScheduler::new(BackoffConfig::paper_default(), StreamRng::from_seed_u64(seed))
+        BackoffScheduler::new(
+            BackoffConfig::paper_default(),
+            StreamRng::from_seed_u64(seed),
+        )
     }
 
     #[test]
@@ -197,8 +200,7 @@ mod tests {
         let mut s = scheduler(5);
         let window = s.config().max_backoff(0).as_secs_f64();
         let n = 10_000;
-        let mean: f64 =
-            (0..n).map(|_| s.next_backoff().as_secs_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| s.next_backoff().as_secs_f64()).sum::<f64>() / n as f64;
         assert!((mean - window / 2.0).abs() < window * 0.03, "mean {mean}");
     }
 

@@ -201,7 +201,10 @@ mod tests {
     #[test]
     fn activation_broadcasts_idle() {
         let mut ch = ClusterHeadMac::default();
-        assert_eq!(ch.activate(), ClusterHeadAction::BroadcastTone(ChannelState::Idle));
+        assert_eq!(
+            ch.activate(),
+            ClusterHeadAction::BroadcastTone(ChannelState::Idle)
+        );
         assert_eq!(ch.state(), ClusterHeadState::Idle);
         assert_eq!(ch.advertised_state(), ChannelState::Idle);
     }

@@ -62,21 +62,12 @@ pub enum SensorAction {
 }
 
 /// Configuration of the sensor MAC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SensorMacConfig {
     /// Backoff parameters.
     pub backoff: BackoffConfig,
     /// Burst sizing policy.
     pub burst: BurstPolicy,
-}
-
-impl Default for SensorMacConfig {
-    fn default() -> Self {
-        SensorMacConfig {
-            backoff: BackoffConfig::paper_default(),
-            burst: BurstPolicy::paper_default(),
-        }
-    }
 }
 
 /// Per-node MAC statistics, exposed for the metrics crate.
@@ -88,7 +79,11 @@ pub struct SensorMacStats {
     pub bursts_aborted: u64,
     /// Bursts completed successfully.
     pub bursts_completed: u64,
-    /// Access attempts deferred because the CSI was below the threshold.
+    /// Burst-eligible idle observations deferred because the CSI was below
+    /// the threshold.  Since the lazy-CSI rework the channel is only measured
+    /// once the busy and minimum-burst gates pass, so observations that were
+    /// *also* below the burst minimum no longer count here (they previously
+    /// did).
     pub deferred_low_csi: u64,
     /// Access attempts deferred because the channel was busy.
     pub deferred_busy: u64,
@@ -152,22 +147,32 @@ impl SensorMac {
         }
     }
 
-    fn conditions_met(
+    /// Evaluate the transmission conditions, deriving the CSI *lazily*.
+    ///
+    /// The checks are ordered cheapest-first so the expensive CSI measurement
+    /// (shadowing/fading evolution in the channel crate) only runs when the
+    /// channel is idle **and** the queue actually justifies a burst — on a
+    /// loaded network the busy check alone short-circuits most observations.
+    fn conditions_met<F: FnOnce() -> f64>(
         &mut self,
-        signal: &ToneSignal,
+        state: ChannelState,
+        csi_db: F,
         threshold_snr_db: f64,
         queued: usize,
         urgent: bool,
     ) -> bool {
-        if signal.state != ChannelState::Idle {
+        if state != ChannelState::Idle {
             self.stats.deferred_busy += 1;
             return false;
         }
-        if signal.tone_snr_db < threshold_snr_db {
+        if !self.config.burst.should_transmit(queued, urgent) {
+            return false;
+        }
+        if csi_db() < threshold_snr_db {
             self.stats.deferred_low_csi += 1;
             return false;
         }
-        self.config.burst.should_transmit(queued, urgent)
+        true
     }
 
     /// A tone observation arrived while the node is sensing.
@@ -185,7 +190,31 @@ impl SensorMac {
         queued: usize,
         urgent: bool,
     ) -> SensorAction {
-        let Some(signal) = signal else {
+        match signal {
+            Some(signal) => self.observe_tone_lazy(
+                Some(signal.state),
+                || signal.tone_snr_db,
+                threshold_snr_db,
+                queued,
+                urgent,
+            ),
+            None => self.observe_tone_lazy(None, || 0.0, threshold_snr_db, queued, urgent),
+        }
+    }
+
+    /// Lazy-CSI variant of [`SensorMac::observe_tone`]: the channel state is
+    /// always known (it is read from the cheap tone-pulse cadence), while the
+    /// CSI closure is only invoked if the decision actually depends on it.
+    /// `state = None` means the tone channel went silent.
+    pub fn observe_tone_lazy<F: FnOnce() -> f64>(
+        &mut self,
+        state: Option<ChannelState>,
+        csi_db: F,
+        threshold_snr_db: f64,
+        queued: usize,
+        urgent: bool,
+    ) -> SensorAction {
+        let Some(state) = state else {
             self.state = SensorMacState::Sleep;
             return SensorAction::EnterSleep;
         };
@@ -195,7 +224,7 @@ impl SensorMac {
                     self.state = SensorMacState::Sleep;
                     return SensorAction::EnterSleep;
                 }
-                if self.conditions_met(&signal, threshold_snr_db, queued, urgent) {
+                if self.conditions_met(state, csi_db, threshold_snr_db, queued, urgent) {
                     self.state = SensorMacState::Backoff;
                     SensorAction::StartBackoff(self.backoff.next_backoff())
                 } else {
@@ -217,10 +246,32 @@ impl SensorMac {
         queued: usize,
         urgent: bool,
     ) -> SensorAction {
+        match signal {
+            Some(signal) => self.backoff_expired_lazy(
+                Some(signal.state),
+                || signal.tone_snr_db,
+                threshold_snr_db,
+                queued,
+                urgent,
+            ),
+            None => self.backoff_expired_lazy(None, || 0.0, threshold_snr_db, queued, urgent),
+        }
+    }
+
+    /// Lazy-CSI variant of [`SensorMac::backoff_expired`]; see
+    /// [`SensorMac::observe_tone_lazy`] for the contract.
+    pub fn backoff_expired_lazy<F: FnOnce() -> f64>(
+        &mut self,
+        state: Option<ChannelState>,
+        csi_db: F,
+        threshold_snr_db: f64,
+        queued: usize,
+        urgent: bool,
+    ) -> SensorAction {
         if self.state != SensorMacState::Backoff {
             return SensorAction::None;
         }
-        let Some(signal) = signal else {
+        let Some(state) = state else {
             self.state = SensorMacState::Sleep;
             return SensorAction::EnterSleep;
         };
@@ -228,7 +279,7 @@ impl SensorMac {
             self.state = SensorMacState::Sleep;
             return SensorAction::EnterSleep;
         }
-        if self.conditions_met(&signal, threshold_snr_db, queued, urgent) {
+        if self.conditions_met(state, csi_db, threshold_snr_db, queued, urgent) {
             self.state = SensorMacState::Transmitting;
             self.pending_burst = self.config.burst.burst_size(queued);
             self.stats.bursts_started += 1;
@@ -414,10 +465,41 @@ mod tests {
     }
 
     #[test]
+    fn csi_is_not_derived_when_channel_is_busy_or_burst_too_small() {
+        let mut m = mac(20);
+        m.packets_pending(5);
+        // Busy channel: the CSI closure must not run.
+        let a = m.observe_tone_lazy(
+            Some(ChannelState::Receive),
+            || panic!("CSI derived for a busy channel"),
+            20.0,
+            5,
+            false,
+        );
+        assert_eq!(a, SensorAction::None);
+        assert_eq!(m.stats().deferred_busy, 1);
+        // Below the burst minimum and not urgent: also no CSI derivation.
+        let a = m.observe_tone_lazy(
+            Some(ChannelState::Idle),
+            || panic!("CSI derived below the burst minimum"),
+            20.0,
+            2,
+            false,
+        );
+        assert_eq!(a, SensorAction::None);
+        // Idle channel with a full burst: now the CSI is consulted.
+        let a = m.observe_tone_lazy(Some(ChannelState::Idle), || 30.0, 20.0, 5, false);
+        assert!(matches!(a, SensorAction::StartBackoff(_)));
+    }
+
+    #[test]
     fn tone_loss_sends_node_to_sleep() {
         let mut m = mac(9);
         m.packets_pending(5);
-        assert_eq!(m.observe_tone(None, 20.0, 5, false), SensorAction::EnterSleep);
+        assert_eq!(
+            m.observe_tone(None, 20.0, 5, false),
+            SensorAction::EnterSleep
+        );
         assert_eq!(m.state(), SensorMacState::Sleep);
         // Also from backoff.
         let mut m = mac(10);

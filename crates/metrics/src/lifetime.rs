@@ -40,8 +40,7 @@ impl LifetimeTracker {
         assert!(node < self.node_count, "node index out of range");
         if self.death_times[node].is_none() {
             self.death_times[node] = Some(time);
-            self.alive_series
-                .push_at(time, self.alive_at(time) as f64);
+            self.alive_series.push_at(time, self.alive_at(time) as f64);
         }
     }
 

@@ -77,10 +77,7 @@ impl Table {
         let mut out = format!("### {}\n\n", self.title);
         let headers: Vec<&str> = self.columns.iter().map(|c| c.name.as_str()).collect();
         out.push_str(&format!("| {} |\n", headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.columns.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
         for row in 0..self.rows() {
             let cells: Vec<String> = self
                 .columns
@@ -95,11 +92,7 @@ impl Table {
     /// Render as an aligned plain-text table for terminal output.
     pub fn to_text(&self) -> String {
         let mut out = format!("== {} ==\n", self.title);
-        let widths: Vec<usize> = self
-            .columns
-            .iter()
-            .map(|c| c.name.len().max(12))
-            .collect();
+        let widths: Vec<usize> = self.columns.iter().map(|c| c.name.len().max(12)).collect();
         for (c, w) in self.columns.iter().zip(&widths) {
             out.push_str(&format!("{:>width$}  ", c.name, width = w));
         }

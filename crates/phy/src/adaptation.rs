@@ -11,9 +11,10 @@ use serde::{Deserialize, Serialize};
 use crate::mode::TransmissionMode;
 
 /// How the transmitter picks a mode from the measured SNR.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum AdaptationPolicy {
     /// Pick the highest mode the instantaneous SNR supports (the paper).
+    #[default]
     Instantaneous,
     /// Same, but require `margin_db` extra SNR before stepping *up* a class;
     /// stepping down happens immediately.  Reduces mode flapping.
@@ -21,12 +22,6 @@ pub enum AdaptationPolicy {
         /// Extra SNR (dB) demanded before upgrading to a faster mode.
         margin_db: f64,
     },
-}
-
-impl Default for AdaptationPolicy {
-    fn default() -> Self {
-        AdaptationPolicy::Instantaneous
-    }
 }
 
 /// Stateful per-link mode selector.
@@ -188,6 +183,9 @@ mod tests {
     #[test]
     fn default_policy_is_instantaneous() {
         assert_eq!(AdaptationPolicy::default(), AdaptationPolicy::Instantaneous);
-        assert_eq!(ModeSelector::default().policy(), AdaptationPolicy::Instantaneous);
+        assert_eq!(
+            ModeSelector::default().policy(),
+            AdaptationPolicy::Instantaneous
+        );
     }
 }

@@ -71,15 +71,13 @@ pub fn bit_error_rate(modulation: Modulation, snr_db: f64) -> f64 {
             let m = 16.0_f64;
             let k = m.log2();
             let gamma_b = snr / k;
-            (4.0 / k) * (1.0 - 1.0 / m.sqrt())
-                * q_function((3.0 * k * gamma_b / (m - 1.0)).sqrt())
+            (4.0 / k) * (1.0 - 1.0 / m.sqrt()) * q_function((3.0 * k * gamma_b / (m - 1.0)).sqrt())
         }
         Modulation::Qam64 => {
             let m = 64.0_f64;
             let k = m.log2();
             let gamma_b = snr / k;
-            (4.0 / k) * (1.0 - 1.0 / m.sqrt())
-                * q_function((3.0 * k * gamma_b / (m - 1.0)).sqrt())
+            (4.0 / k) * (1.0 - 1.0 / m.sqrt()) * q_function((3.0 * k * gamma_b / (m - 1.0)).sqrt())
         }
     };
     ber.clamp(0.0, 0.5)
@@ -164,9 +162,7 @@ mod tests {
     fn higher_order_modulation_needs_more_snr() {
         // At the same symbol SNR, 16-QAM has a (much) higher BER than BPSK.
         for snr in [6.0, 10.0, 14.0] {
-            assert!(
-                bit_error_rate(Modulation::Qam16, snr) > bit_error_rate(Modulation::Bpsk, snr)
-            );
+            assert!(bit_error_rate(Modulation::Qam16, snr) > bit_error_rate(Modulation::Bpsk, snr));
             assert!(
                 bit_error_rate(Modulation::Qam64, snr) > bit_error_rate(Modulation::Qam16, snr)
             );
@@ -229,10 +225,7 @@ mod tests {
 
     #[test]
     fn per_extremes() {
-        assert_eq!(
-            packet_error_rate(Modulation::Bpsk, 0.5, 60.0, 2048),
-            0.0
-        );
+        assert_eq!(packet_error_rate(Modulation::Bpsk, 0.5, 60.0, 2048), 0.0);
         let terrible = packet_error_rate(Modulation::Qam16, 1.0, -20.0, 2048);
         assert!(terrible > 0.999);
     }

@@ -217,9 +217,18 @@ mod tests {
 
     #[test]
     fn best_for_snr_selects_highest_supported() {
-        assert_eq!(TransmissionMode::best_for_snr(30.0), Some(TransmissionMode::Mbps2));
-        assert_eq!(TransmissionMode::best_for_snr(22.0), Some(TransmissionMode::Mbps2));
-        assert_eq!(TransmissionMode::best_for_snr(18.0), Some(TransmissionMode::Mbps1));
+        assert_eq!(
+            TransmissionMode::best_for_snr(30.0),
+            Some(TransmissionMode::Mbps2)
+        );
+        assert_eq!(
+            TransmissionMode::best_for_snr(22.0),
+            Some(TransmissionMode::Mbps2)
+        );
+        assert_eq!(
+            TransmissionMode::best_for_snr(18.0),
+            Some(TransmissionMode::Mbps1)
+        );
         assert_eq!(
             TransmissionMode::best_for_snr(12.0),
             Some(TransmissionMode::Kbps450)

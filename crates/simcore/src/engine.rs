@@ -13,8 +13,22 @@ use crate::time::{Duration, SimTime};
 pub type EventFn = Box<dyn FnOnce(&mut SimContext)>;
 
 /// Unique identifier of a scheduled callback, usable for cancellation.
+///
+/// A handle is a *generation-stamped* slot reference: `slot` indexes a small
+/// arena of callback states and `generation` guards against slot reuse.  Both
+/// cancellation and the liveness check at pop time are O(1), and the arena
+/// never grows beyond the peak number of concurrently pending callbacks —
+/// unlike the previous design, which kept a `Vec<ScheduleHandle>` of
+/// cancellations that was scanned linearly at every pop and grew without
+/// bound when handles were cancelled after firing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ScheduleHandle(u64);
+pub struct ScheduleHandle {
+    slot: u32,
+    /// 64-bit generations make ABA reuse unreachable in practice: a slot
+    /// would need 2^64 retirements before a stale handle could alias a live
+    /// callback (u32 would wrap within minutes at benchmark event rates).
+    generation: u64,
+}
 
 struct Entry {
     handle: ScheduleHandle,
@@ -23,7 +37,9 @@ struct Entry {
 
 impl std::fmt::Debug for Entry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Entry").field("handle", &self.handle).finish()
+        f.debug_struct("Entry")
+            .field("handle", &self.handle)
+            .finish()
     }
 }
 
@@ -32,9 +48,12 @@ impl std::fmt::Debug for Entry {
 #[derive(Debug)]
 pub struct SimContext {
     now: SimTime,
-    next_handle: u64,
     pending: Vec<(SimTime, Entry)>,
-    cancelled: Vec<ScheduleHandle>,
+    /// Current generation of each slot.  A pending callback whose stamped
+    /// generation no longer matches has been cancelled (or already fired).
+    slot_generations: Vec<u64>,
+    /// Slots whose callback fired or was cancelled, available for reuse.
+    free_slots: Vec<u32>,
     stop_requested: bool,
 }
 
@@ -53,8 +72,19 @@ impl SimContext {
         F: FnOnce(&mut SimContext) + 'static,
     {
         let at = at.max(self.now);
-        let handle = ScheduleHandle(self.next_handle);
-        self.next_handle += 1;
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slot_generations.len())
+                    .expect("more than u32::MAX concurrently pending callbacks");
+                self.slot_generations.push(0);
+                slot
+            }
+        };
+        let handle = ScheduleHandle {
+            slot,
+            generation: self.slot_generations[slot as usize],
+        };
         self.pending.push((
             at,
             Entry {
@@ -73,10 +103,27 @@ impl SimContext {
         self.schedule_at(self.now + delay, callback)
     }
 
-    /// Cancel a previously scheduled callback.  Cancelling an already-fired
-    /// or unknown handle is a no-op.
+    /// Cancel a previously scheduled callback in O(1).  Cancelling an
+    /// already-fired or already-cancelled handle is a no-op.
     pub fn cancel(&mut self, handle: ScheduleHandle) {
-        self.cancelled.push(handle);
+        if self
+            .slot_generations
+            .get(handle.slot as usize)
+            .is_some_and(|&generation| generation == handle.generation)
+        {
+            self.retire_slot(handle.slot);
+        }
+    }
+
+    /// Invalidate a slot (bumping its generation) and queue it for reuse.
+    fn retire_slot(&mut self, slot: u32) {
+        self.slot_generations[slot as usize] = self.slot_generations[slot as usize].wrapping_add(1);
+        self.free_slots.push(slot);
+    }
+
+    /// Is the callback identified by `handle` still scheduled to run?
+    fn is_live(&self, handle: ScheduleHandle) -> bool {
+        self.slot_generations[handle.slot as usize] == handle.generation
     }
 
     /// Ask the simulator to stop after the current callback returns.
@@ -115,9 +162,9 @@ impl Simulator {
             queue: EventQueue::new(),
             ctx: SimContext {
                 now: SimTime::ZERO,
-                next_handle: 0,
                 pending: Vec::new(),
-                cancelled: Vec::new(),
+                slot_generations: Vec::new(),
+                free_slots: Vec::new(),
                 stop_requested: false,
             },
             processed: 0,
@@ -185,24 +232,19 @@ impl Simulator {
                 self.ctx.stop_requested = false;
                 break;
             }
-            let Some(next_time) = self.queue.peek_time() else {
+            let Some(scheduled) = self.queue.pop_if_at_or_before(deadline) else {
                 break;
             };
-            if next_time > deadline {
-                break;
-            }
-            let scheduled = self.queue.pop().expect("peeked event must exist");
             debug_assert!(scheduled.time >= self.ctx.now, "time must not go backwards");
-            // Cancelled?
-            if let Some(pos) = self
-                .ctx
-                .cancelled
-                .iter()
-                .position(|h| *h == scheduled.event.handle)
-            {
-                self.ctx.cancelled.swap_remove(pos);
+            // O(1) liveness check: a cancelled handle's slot generation no
+            // longer matches the one stamped into the entry.
+            if !self.ctx.is_live(scheduled.event.handle) {
                 continue;
             }
+            // Consuming the callback retires its slot for reuse; a later
+            // `cancel` of this handle sees a stale generation and is a no-op,
+            // so fired handles never accumulate anywhere.
+            self.ctx.retire_slot(scheduled.event.handle.slot);
             self.ctx.now = scheduled.time;
             (scheduled.event.callback)(&mut self.ctx);
             self.processed += 1;
@@ -215,6 +257,13 @@ impl Simulator {
     pub fn run_for(&mut self, span: Duration) -> SimTime {
         let deadline = self.ctx.now + span;
         self.run_until(deadline)
+    }
+
+    /// Size of the cancellation slot arena (test instrumentation: bounded by
+    /// the peak number of concurrently pending callbacks, not by history).
+    #[cfg(test)]
+    fn slot_arena_size(&self) -> usize {
+        self.ctx.slot_generations.len()
     }
 }
 
@@ -305,6 +354,71 @@ mod tests {
         sim.run();
         assert!(!*fired.borrow());
         assert_eq!(sim.processed(), 0);
+    }
+
+    #[test]
+    fn cancelling_after_firing_is_a_noop_and_does_not_leak() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(RefCell::new(0u32));
+        let mut handles = Vec::new();
+        for ms in 1..=100u64 {
+            let count = count.clone();
+            handles.push(sim.schedule_at(SimTime::from_millis(ms), move |_| {
+                *count.borrow_mut() += 1;
+            }));
+        }
+        sim.run();
+        assert_eq!(*count.borrow(), 100);
+        // Cancelling fired handles must not affect anything (the old design
+        // accumulated these in an unbounded scan list).
+        for h in handles {
+            sim.cancel(h);
+        }
+        let c2 = count.clone();
+        sim.schedule_at(SimTime::from_millis(200), move |_| {
+            *c2.borrow_mut() += 1;
+        });
+        sim.run();
+        assert_eq!(*count.borrow(), 101);
+    }
+
+    #[test]
+    fn slot_arena_is_bounded_by_peak_pending_not_history() {
+        let mut sim = Simulator::new();
+        // Schedule and run 10_000 sequential callbacks, never more than a
+        // handful pending at once.
+        for batch in 0..1000u64 {
+            for i in 0..10u64 {
+                sim.schedule_at(SimTime::from_millis(batch * 10 + i + 1), |_| {});
+            }
+            sim.run();
+        }
+        assert_eq!(sim.processed(), 10_000);
+        assert!(
+            sim.slot_arena_size() <= 16,
+            "arena grew to {} slots for a peak of 10 pending",
+            sim.slot_arena_size()
+        );
+    }
+
+    #[test]
+    fn stale_handle_does_not_cancel_slot_reuser() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let f1 = fired.clone();
+        let h1 = sim.schedule_at(SimTime::from_millis(1), move |_| {
+            f1.borrow_mut().push("a");
+        });
+        sim.cancel(h1); // frees the slot for reuse
+        let f2 = fired.clone();
+        let _h2 = sim.schedule_at(SimTime::from_millis(2), move |_| {
+            f2.borrow_mut().push("b");
+        });
+        // h1 is stale (its slot was re-stamped); cancelling it again must not
+        // kill the new callback occupying the same slot.
+        sim.cancel(h1);
+        sim.run();
+        assert_eq!(*fired.borrow(), vec!["b"]);
     }
 
     #[test]

@@ -68,11 +68,19 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// A xoshiro256**-style PRNG with SplitMix64 seeding.
 ///
-/// Small (32 bytes of state), fast, and of more than adequate statistical
-/// quality for protocol simulation.  Not cryptographically secure.
+/// Small (32 bytes of state plus one cached normal), fast, and of more than
+/// adequate statistical quality for protocol simulation.  Not
+/// cryptographically secure.
 #[derive(Debug, Clone)]
 pub struct StreamRng {
     s: [u64; 4],
+    /// Second output of the last Marsaglia polar iteration, kept for the next
+    /// [`StreamRng::standard_normal`] call.  The polar transform produces two
+    /// independent standard normals per accepted `(u, v)` pair; the shadowing
+    /// and fading processes draw normals in bulk, so discarding the partner
+    /// sample (as the original implementation did) doubled the number of
+    /// rejection loops, `ln` and `sqrt` calls on the simulator's hottest path.
+    spare_normal: Option<f64>,
 }
 
 impl StreamRng {
@@ -87,7 +95,10 @@ impl StreamRng {
         if s.iter().all(|&x| x == 0) {
             s[0] = 0x9E37_79B9_7F4A_7C15;
         }
-        StreamRng { s }
+        StreamRng {
+            s,
+            spare_normal: None,
+        }
     }
 
     #[inline]
@@ -143,20 +154,35 @@ impl StreamRng {
     /// Exponentially distributed sample with the given rate (events/second).
     pub fn exponential(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0, "exponential rate must be positive");
-        // Inverse CDF; guard against ln(0).
-        let u = 1.0 - self.next_f64();
-        -u.ln() / rate
+        self.exponential_mean(1.0 / rate)
     }
 
-    /// Standard normal sample (Box–Muller, one value per call).
+    /// Exponentially distributed sample expressed via its mean (`1/rate`).
+    ///
+    /// Sources that draw at a fixed rate (every Poisson arrival) precompute
+    /// the mean once, turning the per-draw division into a multiplication.
+    pub fn exponential_mean(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exponential mean must be positive");
+        // Inverse CDF; guard against ln(0).
+        let u = 1.0 - self.next_f64();
+        -u.ln() * mean
+    }
+
+    /// Standard normal sample (Marsaglia polar method, both outputs used).
     pub fn standard_normal(&mut self) -> f64 {
-        // Marsaglia polar method avoids trig calls.
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Marsaglia polar method avoids trig calls and yields an independent
+        // pair per accepted iteration; the partner is cached for the next call.
         loop {
             let u = 2.0 * self.next_f64() - 1.0;
             let v = 2.0 * self.next_f64() - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
-                return u * (-2.0 * s.ln() / s).sqrt();
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some(v * factor);
+                return u * factor;
             }
         }
     }
@@ -282,7 +308,12 @@ mod tests {
         }
         let mx = x.iter().sum::<f64>() / x.len() as f64;
         let my = y.iter().sum::<f64>() / y.len() as f64;
-        let cov: f64 = x.iter().zip(&y).map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / x.len() as f64;
+        let cov: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - mx) * (b - my))
+            .sum::<f64>()
+            / x.len() as f64;
         let vx = x.iter().map(|a| (a - mx).powi(2)).sum::<f64>() / x.len() as f64;
         let vy = y.iter().map(|b| (b - my).powi(2)).sum::<f64>() / y.len() as f64;
         let corr = cov / (vx * vy).sqrt();

@@ -118,8 +118,8 @@ impl RunningStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.sum += other.sum;
@@ -225,7 +225,7 @@ impl TimeSeries {
     /// Append a sample; time is given in seconds.
     pub fn push(&mut self, time_secs: f64, value: f64) {
         debug_assert!(
-            self.samples.last().map_or(true, |&(t, _)| time_secs >= t),
+            self.samples.last().is_none_or(|&(t, _)| time_secs >= t),
             "samples must be time-ordered"
         );
         self.samples.push((time_secs, value));
@@ -315,6 +315,9 @@ impl TimeSeries {
 pub struct Histogram {
     lo: f64,
     hi: f64,
+    /// Precomputed `bins / (hi - lo)`: `record` sits on the delivery hot path
+    /// and a multiply is far cheaper than the two divisions it replaces.
+    inv_width: f64,
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
@@ -329,6 +332,7 @@ impl Histogram {
         Histogram {
             lo,
             hi,
+            inv_width: bins as f64 / (hi - lo),
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
@@ -344,8 +348,7 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
-            let width = (self.hi - self.lo) / self.bins.len() as f64;
-            let idx = ((x - self.lo) / width) as usize;
+            let idx = ((x - self.lo) * self.inv_width) as usize;
             let idx = idx.min(self.bins.len() - 1);
             self.bins[idx] += 1;
         }
@@ -381,7 +384,11 @@ impl Histogram {
         for (i, &b) in self.bins.iter().enumerate() {
             let next = cum + b as f64;
             if next >= target && b > 0 {
-                let frac = if b == 0 { 0.0 } else { (target - cum) / b as f64 };
+                let frac = if b == 0 {
+                    0.0
+                } else {
+                    (target - cum) / b as f64
+                };
                 return Some(self.lo + width * (i as f64 + frac));
             }
             cum = next;

@@ -10,6 +10,17 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+/// Round a non-negative float to the nearest integer nanosecond count.
+///
+/// Equivalent to `x.round() as u64` for the half-up convention, but compiles
+/// to straight-line arithmetic instead of a libm `round` call — this sits on
+/// the simulator's hot path (every stochastic delay goes through it).
+#[inline]
+fn round_nonneg_to_u64(x: f64) -> u64 {
+    debug_assert!(x >= 0.0);
+    (x + 0.5) as u64
+}
+
 /// Number of nanoseconds in one second.
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// Number of nanoseconds in one millisecond.
@@ -18,11 +29,15 @@ pub const NANOS_PER_MILLI: u64 = 1_000_000;
 pub const NANOS_PER_MICRO: u64 = 1_000;
 
 /// An instant of virtual simulation time (nanoseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual simulation time (nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl SimTime {
@@ -56,7 +71,7 @@ impl SimTime {
         if secs <= 0.0 {
             SimTime(0)
         } else {
-            SimTime((secs * NANOS_PER_SEC as f64).round() as u64)
+            SimTime(round_nonneg_to_u64(secs * NANOS_PER_SEC as f64))
         }
     }
 
@@ -118,7 +133,7 @@ impl Duration {
         if secs <= 0.0 {
             Duration(0)
         } else {
-            Duration((secs * NANOS_PER_SEC as f64).round() as u64)
+            Duration(round_nonneg_to_u64(secs * NANOS_PER_SEC as f64))
         }
     }
 
@@ -160,7 +175,7 @@ impl Duration {
     /// Multiply by a non-negative float (e.g. a random backoff factor).
     pub fn mul_f64(self, factor: f64) -> Duration {
         assert!(factor >= 0.0, "duration factor must be non-negative");
-        Duration((self.0 as f64 * factor).round() as u64)
+        Duration(round_nonneg_to_u64(self.0 as f64 * factor))
     }
 
     /// The time it takes to move `bits` bits over a link of `bits_per_sec`.

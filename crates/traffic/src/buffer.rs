@@ -122,19 +122,35 @@ impl PacketBuffer {
 
     /// Dequeue up to `count` packets (one MAC burst).
     pub fn dequeue_burst(&mut self, count: usize) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(count.min(self.queue.len()));
+        self.dequeue_burst_into(count, &mut out);
+        out
+    }
+
+    /// Dequeue up to `count` packets, appending them to `out`.
+    ///
+    /// The buffer-reusing variant of [`PacketBuffer::dequeue_burst`]: the
+    /// simulator keeps a pool of burst vectors so the per-burst allocation
+    /// disappears from the event loop.
+    pub fn dequeue_burst_into(&mut self, count: usize, out: &mut Vec<Packet>) {
         let take = count.min(self.queue.len());
-        let mut out = Vec::with_capacity(take);
+        out.reserve(take);
         for _ in 0..take {
             out.push(self.queue.pop_front().expect("length checked"));
         }
         self.stats.dequeued += take as u64;
-        out
     }
 
     /// Push packets back at the *front* of the queue (a burst aborted by a
     /// collision returns its unsent packets without reordering).
-    pub fn requeue_front(&mut self, packets: Vec<Packet>) {
-        for p in packets.into_iter().rev() {
+    pub fn requeue_front(&mut self, mut packets: Vec<Packet>) {
+        self.requeue_front_drain(&mut packets);
+    }
+
+    /// Like [`PacketBuffer::requeue_front`], but drains the given vector in
+    /// place so the caller can reuse its allocation.
+    pub fn requeue_front_drain(&mut self, packets: &mut Vec<Packet>) {
+        for p in packets.drain(..).rev() {
             self.queue.push_front(p);
             // Requeued packets were already counted as enqueued; keep the
             // dequeued counter consistent by rolling it back.

@@ -32,7 +32,12 @@ impl Packet {
     }
 
     /// Create a packet with an explicit size.
-    pub fn with_size(id: PacketId, source_node: usize, created_at: SimTime, size_bits: u64) -> Self {
+    pub fn with_size(
+        id: PacketId,
+        source_node: usize,
+        created_at: SimTime,
+        size_bits: u64,
+    ) -> Self {
         Packet {
             id,
             source_node,
@@ -87,7 +92,10 @@ mod tests {
     #[test]
     fn delay_computation() {
         let p = Packet::new(PacketId(1), 0, SimTime::from_millis(100));
-        assert_eq!(p.delay_at(SimTime::from_millis(350)), Duration::from_millis(250));
+        assert_eq!(
+            p.delay_at(SimTime::from_millis(350)),
+            Duration::from_millis(250)
+        );
         // Delivery "before" creation (cannot happen, but must not underflow).
         assert_eq!(p.delay_at(SimTime::from_millis(50)), Duration::ZERO);
     }

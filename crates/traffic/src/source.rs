@@ -23,6 +23,9 @@ pub trait TrafficSource {
 #[derive(Debug, Clone)]
 pub struct PoissonSource {
     rate_pps: f64,
+    /// `1 / rate_pps`, precomputed so each arrival draw multiplies instead of
+    /// divides (one draw per generated packet — a hot path).
+    mean_gap_s: f64,
     rng: StreamRng,
 }
 
@@ -30,13 +33,17 @@ impl PoissonSource {
     /// Create a Poisson source with `rate_pps` packets per second.
     pub fn new(rate_pps: f64, rng: StreamRng) -> Self {
         assert!(rate_pps > 0.0, "Poisson rate must be positive");
-        PoissonSource { rate_pps, rng }
+        PoissonSource {
+            rate_pps,
+            mean_gap_s: 1.0 / rate_pps,
+            rng,
+        }
     }
 }
 
 impl TrafficSource for PoissonSource {
     fn next_arrival(&mut self, now: SimTime) -> SimTime {
-        let gap = self.rng.exponential(self.rate_pps);
+        let gap = self.rng.exponential_mean(self.mean_gap_s);
         now + Duration::from_secs_f64(gap)
     }
 
@@ -100,8 +107,14 @@ impl BurstySource {
         mean_burst_s: f64,
         rng: StreamRng,
     ) -> Self {
-        assert!(quiet_rate_pps > 0.0 && burst_rate_pps > 0.0, "rates must be positive");
-        assert!(mean_quiet_s > 0.0 && mean_burst_s > 0.0, "sojourn times must be positive");
+        assert!(
+            quiet_rate_pps > 0.0 && burst_rate_pps > 0.0,
+            "rates must be positive"
+        );
+        assert!(
+            mean_quiet_s > 0.0 && mean_burst_s > 0.0,
+            "sojourn times must be positive"
+        );
         BurstySource {
             quiet_rate_pps,
             burst_rate_pps,

@@ -187,11 +187,35 @@ impl ScenarioConfig {
         self
     }
 
+    /// Initial capacity for the pending-event queue, sized so the queue never
+    /// regrows under this scenario's load.
+    ///
+    /// Peak occupancy is bounded by the simultaneously pending event classes:
+    /// one traffic arrival per node (sources schedule exactly one ahead), at
+    /// most one MAC timer (sense or backoff) per non-head node, one
+    /// transmission-completion per in-flight burst (bounded by the cluster
+    /// count, itself bounded by `ch_probability`-scaled expectations), and the
+    /// three periodic housekeeping events.  Heavier traffic widens the MAC
+    /// duty cycle towards its one-timer-per-node bound rather than adding
+    /// queue entries, so the capacity formula needs the node count, the
+    /// cluster expectation, and constant slack — not the raw packet rate.
+    pub fn initial_queue_capacity(&self) -> usize {
+        let expected_heads = (self.node_count as f64 * self.ch_probability).ceil() as usize;
+        // One arrival + one MAC timer per node, one completion per possible
+        // concurrent burst, housekeeping, plus 25% headroom for transients
+        // around round boundaries (stale timers coexisting with fresh ones).
+        let peak = 2 * self.node_count + expected_heads + 8;
+        peak + peak / 4
+    }
+
     /// Sanity-check the configuration, panicking with a descriptive message
     /// on nonsensical values.  Called by the runner.
     pub fn validate(&self) {
         assert!(self.node_count > 0, "node_count must be positive");
-        assert!(self.initial_energy_j > 0.0, "initial energy must be positive");
+        assert!(
+            self.initial_energy_j > 0.0,
+            "initial energy must be positive"
+        );
         assert!(
             self.traffic.mean_rate_pps() > 0.0,
             "traffic rate must be positive"
@@ -202,8 +226,7 @@ impl ScenarioConfig {
         );
         assert!(!self.duration.is_zero(), "duration must be positive");
         assert!(
-            !self.energy_snapshot_interval.is_zero()
-                && !self.fairness_snapshot_interval.is_zero(),
+            !self.energy_snapshot_interval.is_zero() && !self.fairness_snapshot_interval.is_zero(),
             "snapshot intervals must be positive"
         );
     }
@@ -241,6 +264,18 @@ mod tests {
         assert_eq!(cfg.buffer_capacity, None);
         assert_eq!(cfg.seed, 99);
         cfg.validate();
+    }
+
+    #[test]
+    fn queue_capacity_scales_with_the_deployment() {
+        let small = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
+        let paper = ScenarioConfig::paper_default(PolicyKind::PureLeach, 5.0, 1);
+        let small_cap = small.initial_queue_capacity();
+        let paper_cap = paper.initial_queue_capacity();
+        // At least one arrival and one MAC timer per node, plus headroom.
+        assert!(small_cap > 2 * small.node_count);
+        assert!(paper_cap > 2 * paper.node_count);
+        assert!(paper_cap > small_cap);
     }
 
     #[test]

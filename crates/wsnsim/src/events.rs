@@ -3,6 +3,11 @@
 use caem_simcore::event::Event;
 
 /// One event in the network simulation.
+///
+/// Node references are compact `u32` indices (no simulated network
+/// approaches 4 billion nodes), which keeps the enum at 8 bytes and one
+/// pending-event entry at 24 — a third less data moved per heap sift than
+/// with `usize` payloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetworkEvent {
     /// A LEACH round boundary: elect heads, re-form clusters.
@@ -10,22 +15,22 @@ pub enum NetworkEvent {
     /// A sensor generates a packet.
     PacketArrival {
         /// Generating node index.
-        node: usize,
+        node: u32,
     },
     /// A monitoring sensor samples the tone channel.
     SenseChannel {
         /// Sensing node index.
-        node: usize,
+        node: u32,
     },
     /// A sensor's MAC backoff timer expired.
     BackoffExpired {
         /// Node whose backoff expired.
-        node: usize,
+        node: u32,
     },
     /// A data burst finished (delivery or collision cleanup happens here).
     TransmissionComplete {
         /// Node whose burst ended.
-        node: usize,
+        node: u32,
     },
     /// Periodic network-wide energy snapshot (Fig. 8 sampling).
     EnergySnapshot,

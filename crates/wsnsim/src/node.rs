@@ -41,12 +41,80 @@ impl TrafficSource for NodeTrafficSource {
     }
 }
 
+/// The threshold-policy variants a node can run, as a closed enum.
+///
+/// Dispatch was previously through `Box<dyn ThresholdPolicy>`; the enum keeps
+/// nodes allocation-free, lets the per-event policy queries
+/// (`required_snr_db`, `is_urgent`, arrival notifications) inline into the
+/// event loop, and removes a pointer chase per query.
+#[derive(Debug, Clone)]
+pub enum NodePolicy {
+    /// Pure LEACH: no channel adaptation.
+    PureLeach(NoAdaptation),
+    /// CAEM Scheme 1: adaptive threshold.
+    Adaptive(AdaptiveThreshold),
+    /// CAEM Scheme 2: fixed highest threshold.
+    Fixed(FixedThreshold),
+}
+
+impl ThresholdPolicy for NodePolicy {
+    fn kind(&self) -> PolicyKind {
+        match self {
+            NodePolicy::PureLeach(p) => p.kind(),
+            NodePolicy::Adaptive(p) => p.kind(),
+            NodePolicy::Fixed(p) => p.kind(),
+        }
+    }
+
+    fn on_packet_arrival(&mut self, queue_len: usize) {
+        match self {
+            NodePolicy::PureLeach(p) => p.on_packet_arrival(queue_len),
+            NodePolicy::Adaptive(p) => p.on_packet_arrival(queue_len),
+            NodePolicy::Fixed(p) => p.on_packet_arrival(queue_len),
+        }
+    }
+
+    fn on_packets_sent(&mut self, queue_len: usize) {
+        match self {
+            NodePolicy::PureLeach(p) => p.on_packets_sent(queue_len),
+            NodePolicy::Adaptive(p) => p.on_packets_sent(queue_len),
+            NodePolicy::Fixed(p) => p.on_packets_sent(queue_len),
+        }
+    }
+
+    fn on_round_change(&mut self) {
+        match self {
+            NodePolicy::PureLeach(p) => p.on_round_change(),
+            NodePolicy::Adaptive(p) => p.on_round_change(),
+            NodePolicy::Fixed(p) => p.on_round_change(),
+        }
+    }
+
+    fn current_threshold(&self) -> Option<caem_phy::TransmissionMode> {
+        match self {
+            NodePolicy::PureLeach(p) => p.current_threshold(),
+            NodePolicy::Adaptive(p) => p.current_threshold(),
+            NodePolicy::Fixed(p) => p.current_threshold(),
+        }
+    }
+
+    fn is_urgent(&self, queue_len: usize) -> bool {
+        match self {
+            NodePolicy::PureLeach(p) => p.is_urgent(queue_len),
+            NodePolicy::Adaptive(p) => p.is_urgent(queue_len),
+            NodePolicy::Fixed(p) => p.is_urgent(queue_len),
+        }
+    }
+}
+
 /// Build the policy object for a protocol variant.
-pub fn build_policy(kind: PolicyKind, config: &ScenarioConfig) -> Box<dyn ThresholdPolicy> {
+pub fn build_policy(kind: PolicyKind, config: &ScenarioConfig) -> NodePolicy {
     match kind {
-        PolicyKind::PureLeach => Box::new(NoAdaptation::new(config.caem.queue_threshold)),
-        PolicyKind::Scheme1Adaptive => Box::new(AdaptiveThreshold::new(config.caem)),
-        PolicyKind::Scheme2Fixed => Box::new(FixedThreshold::new(
+        PolicyKind::PureLeach => {
+            NodePolicy::PureLeach(NoAdaptation::new(config.caem.queue_threshold))
+        }
+        PolicyKind::Scheme1Adaptive => NodePolicy::Adaptive(AdaptiveThreshold::new(config.caem)),
+        PolicyKind::Scheme2Fixed => NodePolicy::Fixed(FixedThreshold::new(
             config.caem.initial_threshold,
             config.caem.queue_threshold,
         )),
@@ -54,10 +122,7 @@ pub fn build_policy(kind: PolicyKind, config: &ScenarioConfig) -> Box<dyn Thresh
 }
 
 /// Build the traffic source for a node from the scenario's traffic model.
-pub fn build_source(
-    model: TrafficModel,
-    rng: caem_simcore::rng::StreamRng,
-) -> NodeTrafficSource {
+pub fn build_source(model: TrafficModel, rng: caem_simcore::rng::StreamRng) -> NodeTrafficSource {
     match model {
         TrafficModel::Poisson { rate_pps } => {
             NodeTrafficSource::Poisson(PoissonSource::new(rate_pps, rng))
@@ -91,7 +156,7 @@ pub struct SensorNode {
     /// MAC state machine.
     pub mac: SensorMac,
     /// CAEM / baseline threshold policy.
-    pub policy: Box<dyn ThresholdPolicy>,
+    pub policy: NodePolicy,
     /// Traffic generator.
     pub source: NodeTrafficSource,
     /// Channel to the current cluster head (absent while the node itself is

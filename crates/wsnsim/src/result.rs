@@ -54,6 +54,15 @@ pub struct SimulationResult {
     pub collisions: u64,
     /// Total number of completed bursts.
     pub bursts: u64,
+    /// Number of discrete events the run's event loop processed — the
+    /// denominator-free basis for the `netperf` events/sec throughput metric.
+    pub events_processed: u64,
+    /// Final allocated capacity of the pending-event queue.
+    pub queue_capacity: usize,
+    /// Peak number of simultaneously pending events.  When this stays at or
+    /// below [`SimulationResult::queue_capacity`]'s initial sizing the queue
+    /// never re-allocated during the run.
+    pub queue_high_watermark: usize,
 }
 
 impl SimulationResult {
@@ -146,6 +155,9 @@ mod tests {
             ],
             collisions: 3,
             bursts: 40,
+            events_processed: 500,
+            queue_capacity: 64,
+            queue_high_watermark: 20,
         }
     }
 

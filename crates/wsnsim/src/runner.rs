@@ -7,13 +7,15 @@
 //! scenario seed, so a run is exactly reproducible and protocol comparisons
 //! use common random numbers.
 
+use caem::policy::ThresholdPolicy;
+use caem_channel::geometry::Position;
 use caem_channel::link::LinkChannel;
 use caem_cluster::election::{ElectionConfig, LeachElection};
 use caem_cluster::formation::ClusterFormation;
 use caem_cluster::rounds::RoundClock;
 use caem_energy::battery::{Battery, EnergyCategory, EnergyLedger};
 use caem_mac::sensor::{SensorAction, SensorMac, SensorMacConfig, SensorMacState};
-use caem_mac::tone::{ChannelState, ToneSignal};
+use caem_mac::tone::ChannelState;
 use caem_metrics::energy::EnergyTracker;
 use caem_metrics::fairness::QueueFairness;
 use caem_metrics::lifetime::LifetimeTracker;
@@ -80,9 +82,23 @@ pub struct SimulationRun {
     fairness: QueueFairness,
     collisions: u64,
     bursts: u64,
+    events_processed: u64,
     generated_per_node: Vec<u64>,
     delivered_per_node: Vec<u64>,
     dropped_per_node: Vec<u64>,
+    // ---- hot-path hoisted constants (derived from `cfg` once) ----
+    /// Energy of one tone-channel observation window.
+    tone_observation_energy_j: f64,
+    /// Energy of acquiring the tone channel after wake-up.
+    sensing_energy_j: f64,
+    // ---- reusable scratch buffers (avoid per-round/per-snapshot allocs) ----
+    scratch_alive: Vec<bool>,
+    scratch_positions: Vec<Position>,
+    scratch_f64: Vec<f64>,
+    scratch_queues: Vec<usize>,
+    /// Retired burst vectors, recycled by `start_burst` so steady-state burst
+    /// traffic performs no allocations.
+    burst_buffer_pool: Vec<Vec<Packet>>,
 }
 
 impl SimulationRun {
@@ -91,7 +107,9 @@ impl SimulationRun {
         cfg.validate();
         let streams = RngStream::new(cfg.seed);
         let mut placement_rng = streams.derive(components::PLACEMENT, 0);
-        let positions = cfg.field.random_deployment(cfg.node_count, &mut placement_rng);
+        let positions = cfg
+            .field
+            .random_deployment(cfg.node_count, &mut placement_rng);
 
         let nodes: Vec<SensorNode> = (0..cfg.node_count)
             .map(|id| {
@@ -112,7 +130,10 @@ impl SimulationRun {
                         streams.derive(components::BACKOFF, id as u64),
                     ),
                     policy: build_policy(cfg.policy, &cfg),
-                    source: build_source(cfg.traffic, streams.derive(components::TRAFFIC, id as u64)),
+                    source: build_source(
+                        cfg.traffic,
+                        streams.derive(components::TRAFFIC, id as u64),
+                    ),
                     link: LinkChannel::with_distance(
                         cfg.field.diagonal(),
                         cfg.link_budget,
@@ -131,10 +152,18 @@ impl SimulationRun {
             })
             .collect();
 
-        let mut queue = EventQueue::with_capacity(cfg.node_count * 4);
+        let mut queue = EventQueue::with_capacity(cfg.initial_queue_capacity());
         queue.push(SimTime::ZERO, NetworkEvent::RoundStart);
         queue.push(SimTime::ZERO, NetworkEvent::EnergySnapshot);
         queue.push(SimTime::ZERO, NetworkEvent::FairnessSnapshot);
+
+        // Constants consumed on every hot-path event, derived from the
+        // scenario once instead of being recomputed per observation.
+        let idle_pulse = cfg.tone.pulse_for(ChannelState::Idle).duration;
+        // Wake a little early and stay a little late to be sure of catching
+        // the pulse: charge one-and-a-half pulse-durations of receive power.
+        let tone_observation_energy_j = cfg.power.tone_rx_w * idle_pulse.as_secs_f64() * 1.5;
+        let sensing_energy_j = cfg.power.tone_rx_w * cfg.sensing_delay.as_secs_f64();
 
         let mut run = SimulationRun {
             election: LeachElection::new(
@@ -157,9 +186,17 @@ impl SimulationRun {
             fairness: QueueFairness::new(),
             collisions: 0,
             bursts: 0,
+            events_processed: 0,
             generated_per_node: vec![0; cfg.node_count],
             delivered_per_node: vec![0; cfg.node_count],
             dropped_per_node: vec![0; cfg.node_count],
+            tone_observation_energy_j,
+            sensing_energy_j,
+            scratch_alive: Vec::with_capacity(cfg.node_count),
+            scratch_positions: Vec::with_capacity(cfg.node_count),
+            scratch_f64: Vec::with_capacity(cfg.node_count),
+            scratch_queues: Vec::with_capacity(cfg.node_count),
+            burst_buffer_pool: Vec::new(),
             nodes,
             now: SimTime::ZERO,
             queue,
@@ -168,7 +205,7 @@ impl SimulationRun {
         // Prime the traffic: one pending arrival per node.
         for id in 0..run.cfg.node_count {
             let first = run.nodes[id].source.next_arrival(SimTime::ZERO);
-            run.schedule(first, NetworkEvent::PacketArrival { node: id });
+            run.schedule(first, NetworkEvent::PacketArrival { node: id as u32 });
         }
         run
     }
@@ -232,28 +269,30 @@ impl SimulationRun {
         self.nodes[head].alive.then_some(head)
     }
 
-    /// Energy charged for one tone-channel observation window (the sensor
-    /// wakes its tone radio just long enough to catch a pulse).
-    fn tone_observation_energy(&self) -> f64 {
-        let pulse = self.cfg.tone.pulse_for(ChannelState::Idle).duration;
-        // Wake a little early and stay a little late to be sure of catching
-        // the pulse: charge one-and-a-half pulse-durations of receive power.
-        self.cfg.power.tone_rx_w * pulse.as_secs_f64() * 1.5
-    }
-
     // ------------------------------------------------------------------
     // Event handlers
     // ------------------------------------------------------------------
 
     fn handle_round_start(&mut self) {
-        let alive: Vec<bool> = self.nodes.iter().map(|n| n.alive).collect();
+        // The alive map and position vector are rebuilt every round into
+        // run-owned scratch buffers instead of fresh allocations.
+        let mut alive = std::mem::take(&mut self.scratch_alive);
+        alive.clear();
+        alive.extend(self.nodes.iter().map(|n| n.alive));
         if !alive.iter().any(|&a| a) {
+            self.scratch_alive = alive;
             return; // whole network dead — no further rounds
         }
+        let mut positions = std::mem::take(&mut self.scratch_positions);
+        positions.clear();
+        positions.extend(self.nodes.iter().map(|n| n.position));
         let heads = self.election.elect_round(&alive, &mut self.election_rng);
-        let positions: Vec<_> = self.nodes.iter().map(|n| n.position).collect();
         let formation = ClusterFormation::nearest_head(&positions, &heads, &alive);
-        self.cluster_occupancy = vec![None; formation.cluster_count()];
+        self.scratch_alive = alive;
+        self.scratch_positions = positions;
+        self.cluster_occupancy.clear();
+        self.cluster_occupancy
+            .resize(formation.cluster_count(), None);
 
         for id in 0..self.nodes.len() {
             if !self.nodes[id].alive {
@@ -296,7 +335,7 @@ impl SimulationRun {
         }
         // Schedule the next arrival first so the source keeps flowing.
         let next = self.nodes[node].source.next_arrival(self.now);
-        self.schedule(next, NetworkEvent::PacketArrival { node });
+        self.schedule(next, NetworkEvent::PacketArrival { node: node as u32 });
 
         self.generated_per_node[node] += 1;
         self.perf.record_generated();
@@ -335,67 +374,67 @@ impl SimulationRun {
             if action == SensorAction::StartSensing {
                 // Acquiring the tone channel costs the sensing delay with the
                 // tone radio fully on.
-                let sensing_energy =
-                    self.cfg.power.tone_rx_w * self.cfg.sensing_delay.as_secs_f64();
+                let sensing_energy = self.sensing_energy_j;
                 self.draw_energy(node, EnergyCategory::ToneReceive, sensing_energy);
                 self.schedule(
                     self.now + self.cfg.sensing_delay,
-                    NetworkEvent::SenseChannel { node },
+                    NetworkEvent::SenseChannel { node: node as u32 },
                 );
             }
         }
     }
 
-    fn sense_inputs(&mut self, node: usize) -> Option<(ToneSignal, f64, usize, bool)> {
-        let head = self.head_of(node)?;
-        let cluster = self.nodes[node].cluster?;
-        let _ = head;
-        let snr_db = self.measure_snr(node);
-        let state = self.channel_state(cluster);
-        let queue_len = self.nodes[node].buffer.len();
-        let threshold = self.nodes[node].policy.required_snr_db();
-        let urgent = self.nodes[node].policy.is_urgent(queue_len);
-        Some((
-            ToneSignal {
-                state,
-                tone_snr_db: snr_db,
-            },
-            threshold,
-            queue_len,
-            urgent,
-        ))
+    /// The CSI-free observation context of one tone sample: advertised
+    /// channel state (`None` when the node has no live cluster head) plus the
+    /// policy's current inputs.  Deliberately does **not** touch the link
+    /// model — the expensive CSI derivation happens lazily inside the MAC,
+    /// and only on the branches whose decision depends on it.
+    fn observation_context(&self, node: usize) -> (Option<ChannelState>, f64, usize, bool) {
+        let state = match (self.head_of(node), self.nodes[node].cluster) {
+            (Some(_), Some(cluster)) => Some(self.channel_state(cluster)),
+            _ => None,
+        };
+        let n = &self.nodes[node];
+        let queue_len = n.buffer.len();
+        let threshold = n.policy.required_snr_db();
+        let urgent = n.policy.is_urgent(queue_len);
+        (state, threshold, queue_len, urgent)
     }
 
     fn handle_sense_channel(&mut self, node: usize) {
-        if !self.nodes[node].alive || self.nodes[node].is_head {
-            return;
+        {
+            // One bounds-checked access for all three liveness gates.
+            let n = &self.nodes[node];
+            if !n.alive || n.is_head || n.mac.state() != SensorMacState::Sensing {
+                return; // dead, promoted to head, or stale event
+            }
         }
-        if self.nodes[node].mac.state() != SensorMacState::Sensing {
-            return; // stale event
-        }
-        let observation_energy = self.tone_observation_energy();
+        let observation_energy = self.tone_observation_energy_j;
         self.draw_energy(node, EnergyCategory::ToneReceive, observation_energy);
         if !self.nodes[node].alive {
             return;
         }
 
-        let inputs = self.sense_inputs(node);
-        let observed_state = inputs.as_ref().map(|(s, _, _, _)| s.state);
-        let action = match inputs {
-            None => {
-                let n = &mut self.nodes[node];
-                n.mac.observe_tone(None, 0.0, n.buffer.len(), false)
-            }
-            Some((signal, threshold, queue_len, urgent)) => self.nodes[node]
-                .mac
-                .observe_tone(Some(signal), threshold, queue_len, urgent),
-        };
+        let (state, threshold, queue_len, urgent) = self.observation_context(node);
+        let observed_state = state;
+        let now = self.now;
+        let SensorNode { mac, link, .. } = &mut self.nodes[node];
+        let action = mac.observe_tone_lazy(
+            state,
+            || link.measure(now).snr_db,
+            threshold,
+            queue_len,
+            urgent,
+        );
         match action {
             SensorAction::StartBackoff(backoff) => {
                 // Tone radio stays fully on through the backoff.
                 let energy = self.cfg.power.tone_rx_w * backoff.as_secs_f64();
                 self.draw_energy(node, EnergyCategory::ToneReceive, energy);
-                self.schedule(self.now + backoff, NetworkEvent::BackoffExpired { node });
+                self.schedule(
+                    self.now + backoff,
+                    NetworkEvent::BackoffExpired { node: node as u32 },
+                );
             }
             SensorAction::None => {
                 // Keep monitoring: the next observation follows the pulse
@@ -414,7 +453,7 @@ impl SimulationRun {
                 let jitter = interval.mul_f64(self.jitter_rng.next_f64() * 0.5);
                 self.schedule(
                     self.now + interval + jitter,
-                    NetworkEvent::SenseChannel { node },
+                    NetworkEvent::SenseChannel { node: node as u32 },
                 );
             }
             SensorAction::EnterSleep => {}
@@ -423,45 +462,52 @@ impl SimulationRun {
     }
 
     fn handle_backoff_expired(&mut self, node: usize) {
-        if !self.nodes[node].alive || self.nodes[node].is_head {
-            return;
-        }
-        if self.nodes[node].mac.state() != SensorMacState::Backoff {
-            return; // stale event
-        }
-        let inputs = self.sense_inputs(node);
-        let action = match inputs {
-            None => {
-                let n = &mut self.nodes[node];
-                n.mac.backoff_expired(None, 0.0, n.buffer.len(), false)
+        {
+            let n = &self.nodes[node];
+            if !n.alive || n.is_head || n.mac.state() != SensorMacState::Backoff {
+                return; // dead, promoted to head, or stale event
             }
-            Some((signal, threshold, queue_len, urgent)) => self.nodes[node]
-                .mac
-                .backoff_expired(Some(signal), threshold, queue_len, urgent),
-        };
+        }
+        let (state, threshold, queue_len, urgent) = self.observation_context(node);
+        let now = self.now;
+        let SensorNode { mac, link, .. } = &mut self.nodes[node];
+        let action = mac.backoff_expired_lazy(
+            state,
+            || link.measure(now).snr_db,
+            threshold,
+            queue_len,
+            urgent,
+        );
         match action {
             SensorAction::StartTransmission { burst_size } => {
                 self.start_burst(node, burst_size);
             }
             SensorAction::None => {
                 let interval = self.cfg.tone.pulse_for(ChannelState::Idle).interval;
-                self.schedule(self.now + interval, NetworkEvent::SenseChannel { node });
+                self.schedule(
+                    self.now + interval,
+                    NetworkEvent::SenseChannel { node: node as u32 },
+                );
             }
             SensorAction::EnterSleep => {}
             _ => {}
         }
     }
 
+    /// Return a finished burst's packet vector to the reuse pool.
+    fn recycle_burst_buffer(&mut self, mut packets: Vec<Packet>) {
+        packets.clear();
+        self.burst_buffer_pool.push(packets);
+    }
+
     fn abort_after_collision(&mut self, node: usize, resume_at: SimTime) {
         let (_, may_retry) = self.nodes[node].mac.collision_detected();
-        if !may_retry {
-            if self.nodes[node].buffer.dequeue().is_some() {
-                self.perf.record_dropped_abandoned();
-                self.dropped_per_node[node] += 1;
-            }
+        if !may_retry && self.nodes[node].buffer.dequeue().is_some() {
+            self.perf.record_dropped_abandoned();
+            self.dropped_per_node[node] += 1;
         }
         if self.nodes[node].alive && !self.nodes[node].buffer.is_empty() {
-            self.schedule(resume_at, NetworkEvent::SenseChannel { node });
+            self.schedule(resume_at, NetworkEvent::SenseChannel { node: node as u32 });
         }
     }
 
@@ -487,10 +533,14 @@ impl SimulationRun {
             return;
         };
 
-        let packets = self.nodes[node].buffer.dequeue_burst(burst_size);
+        let mut packets = self.burst_buffer_pool.pop().unwrap_or_default();
+        self.nodes[node]
+            .buffer
+            .dequeue_burst_into(burst_size, &mut packets);
         if packets.is_empty() {
             // Nothing to send after all (racing round change drained the
             // buffer); put the MAC back to sleep via burst completion.
+            self.burst_buffer_pool.push(packets);
             let _ = self.nodes[node].mac.burst_complete(0);
             return;
         }
@@ -519,7 +569,8 @@ impl SimulationRun {
             self.draw_energy(node, EnergyCategory::CollisionWaste, tx_waste);
             let rx_waste = self.cfg.power.receive_energy(frame_airtime);
             self.draw_energy(head, EnergyCategory::CollisionWaste, rx_waste);
-            self.nodes[node].buffer.requeue_front(packets);
+            self.nodes[node].buffer.requeue_front_drain(&mut packets);
+            self.burst_buffer_pool.push(packets);
             self.abort_after_collision(node, begin + frame_airtime + Duration::from_millis(20));
             return;
         }
@@ -551,7 +602,10 @@ impl SimulationRun {
             head,
             cluster,
         });
-        self.schedule(end, NetworkEvent::TransmissionComplete { node });
+        self.schedule(
+            end,
+            NetworkEvent::TransmissionComplete { node: node as u32 },
+        );
     }
 
     fn handle_transmission_complete(&mut self, node: usize) {
@@ -564,10 +618,14 @@ impl SimulationRun {
             self.cluster_occupancy[burst.cluster] = None;
         }
         if !self.nodes[node].alive {
-            return; // died mid-burst; the energy is already spent, data lost
+            // Died mid-burst; the energy is already spent, data lost.
+            self.recycle_burst_buffer(burst.packets);
+            return;
         }
         if burst.collided {
-            self.nodes[node].buffer.requeue_front(burst.packets);
+            let mut packets = burst.packets;
+            self.nodes[node].buffer.requeue_front_drain(&mut packets);
+            self.burst_buffer_pool.push(packets);
             self.abort_after_collision(node, self.now + Duration::from_millis(20));
             return;
         }
@@ -588,13 +646,14 @@ impl SimulationRun {
                 self.delivered_per_node[node] += 1;
             }
         }
+        self.recycle_burst_buffer(burst.packets);
         let queue_len = self.nodes[node].buffer.len();
         self.nodes[node].policy.on_packets_sent(queue_len);
         let action = self.nodes[node].mac.burst_complete(queue_len);
         if action == SensorAction::StartSensing {
             self.schedule(
                 self.now + self.cfg.sensing_delay,
-                NetworkEvent::SenseChannel { node },
+                NetworkEvent::SenseChannel { node: node as u32 },
             );
         }
     }
@@ -605,33 +664,42 @@ impl SimulationRun {
         // every live node, tone broadcasts for the current cluster heads.
         let sleep_energy = self.cfg.power.data_sleep_w * interval.as_secs_f64();
         let idle_duty = self.cfg.tone.duty_cycle(ChannelState::Idle);
-        let head_tone_energy =
-            self.cfg.power.tone_tx_w * idle_duty * interval.as_secs_f64();
+        let head_tone_energy = self.cfg.power.tone_tx_w * idle_duty * interval.as_secs_f64();
+        let mut remaining = std::mem::take(&mut self.scratch_f64);
+        remaining.clear();
+        let mut any_alive = false;
         for id in 0..self.nodes.len() {
-            if !self.nodes[id].alive {
-                continue;
+            if self.nodes[id].alive {
+                self.draw_energy(id, EnergyCategory::Sleep, sleep_energy);
+                if self.nodes[id].is_head {
+                    self.draw_energy(id, EnergyCategory::ToneTransmit, head_tone_energy);
+                }
             }
-            self.draw_energy(id, EnergyCategory::Sleep, sleep_energy);
-            if self.nodes[id].is_head {
-                self.draw_energy(id, EnergyCategory::ToneTransmit, head_tone_energy);
-            }
+            // Remaining energy is read after the draws so a node dying of its
+            // sleep cost snapshots as empty, like the original two-pass code.
+            remaining.push(self.nodes[id].remaining_energy());
+            any_alive |= self.nodes[id].alive;
         }
-        let remaining: Vec<f64> = self.nodes.iter().map(|n| n.remaining_energy()).collect();
         self.energy.snapshot(self.now, &remaining);
-        if self.nodes.iter().any(|n| n.alive) {
+        self.scratch_f64 = remaining;
+        if any_alive {
             self.schedule(self.now + interval, NetworkEvent::EnergySnapshot);
         }
     }
 
     fn handle_fairness_snapshot(&mut self) {
-        let queues: Vec<usize> = self
-            .nodes
-            .iter()
-            .filter(|n| n.alive && !n.is_head)
-            .map(|n| n.buffer.len())
-            .collect();
+        let mut queues = std::mem::take(&mut self.scratch_queues);
+        queues.clear();
+        let mut any_alive = false;
+        for n in &self.nodes {
+            any_alive |= n.alive;
+            if n.alive && !n.is_head {
+                queues.push(n.buffer.len());
+            }
+        }
         self.fairness.snapshot(&queues);
-        if self.nodes.iter().any(|n| n.alive) {
+        self.scratch_queues = queues;
+        if any_alive {
             self.schedule(
                 self.now + self.cfg.fairness_snapshot_interval,
                 NetworkEvent::FairnessSnapshot,
@@ -642,20 +710,17 @@ impl SimulationRun {
     /// Run the simulation to the configured horizon and collect the result.
     pub fn run(mut self) -> SimulationResult {
         let horizon = SimTime::ZERO + self.cfg.duration;
-        while let Some(next_time) = self.queue.peek_time() {
-            if next_time > horizon {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked event exists");
+        while let Some(event) = self.queue.pop_if_at_or_before(horizon) {
             debug_assert!(event.time >= self.now);
             self.now = event.time;
+            self.events_processed += 1;
             match event.event {
                 NetworkEvent::RoundStart => self.handle_round_start(),
-                NetworkEvent::PacketArrival { node } => self.handle_packet_arrival(node),
-                NetworkEvent::SenseChannel { node } => self.handle_sense_channel(node),
-                NetworkEvent::BackoffExpired { node } => self.handle_backoff_expired(node),
+                NetworkEvent::PacketArrival { node } => self.handle_packet_arrival(node as usize),
+                NetworkEvent::SenseChannel { node } => self.handle_sense_channel(node as usize),
+                NetworkEvent::BackoffExpired { node } => self.handle_backoff_expired(node as usize),
                 NetworkEvent::TransmissionComplete { node } => {
-                    self.handle_transmission_complete(node)
+                    self.handle_transmission_complete(node as usize)
                 }
                 NetworkEvent::EnergySnapshot => self.handle_energy_snapshot(),
                 NetworkEvent::FairnessSnapshot => self.handle_fairness_snapshot(),
@@ -704,6 +769,9 @@ impl SimulationRun {
             nodes,
             collisions: self.collisions,
             bursts: self.bursts,
+            events_processed: self.events_processed,
+            queue_capacity: self.queue.capacity(),
+            queue_high_watermark: self.queue.high_watermark(),
         }
     }
 }
@@ -721,7 +789,11 @@ mod tests {
     fn small_scenario_runs_to_horizon() {
         let r = small_run(PolicyKind::Scheme1Adaptive, 1);
         assert_eq!(r.end_time, SimTime::from_secs(60));
-        assert!(r.perf.generated() > 1_000, "generated {}", r.perf.generated());
+        assert!(
+            r.perf.generated() > 1_000,
+            "generated {}",
+            r.perf.generated()
+        );
         assert!(r.perf.delivered() > 0);
         assert!(r.bursts > 0);
         assert_eq!(r.nodes.len(), 20);
@@ -743,12 +815,38 @@ mod tests {
     fn delivery_is_counted_against_generation() {
         let r = small_run(PolicyKind::PureLeach, 3);
         assert!(r.perf.delivered() <= r.perf.generated());
-        assert!(r.delivery_rate() > 0.3, "delivery rate {}", r.delivery_rate());
+        assert!(
+            r.delivery_rate() > 0.3,
+            "delivery rate {}",
+            r.delivery_rate()
+        );
         // Per-node accounting sums to the global counters.
         let gen_sum: u64 = r.nodes.iter().map(|n| n.generated).sum();
         assert_eq!(gen_sum, r.perf.generated());
         let del_sum: u64 = r.nodes.iter().map(|n| n.delivered).sum();
         assert_eq!(del_sum, r.perf.delivered());
+    }
+
+    #[test]
+    fn event_queue_is_sized_from_the_scenario_and_never_regrows() {
+        for rate in [5.0, 30.0] {
+            let cfg = ScenarioConfig::small(PolicyKind::Scheme1Adaptive, rate, 5);
+            let capacity = cfg.initial_queue_capacity();
+            let r = SimulationRun::new(cfg).run();
+            assert!(
+                r.queue_high_watermark <= capacity,
+                "at {rate} pkt/s the queue peaked at {} pending but was sized for {capacity}",
+                r.queue_high_watermark,
+            );
+            assert!(r.queue_capacity >= capacity);
+            // The sizing is not wildly oversized either: the peak should use
+            // a meaningful fraction of the arena.
+            assert!(
+                r.queue_high_watermark * 8 >= capacity,
+                "queue sized for {capacity} but peaked at only {}",
+                r.queue_high_watermark
+            );
+        }
     }
 
     #[test]
@@ -791,11 +889,7 @@ mod tests {
     #[test]
     fn ledger_total_matches_battery_drawdown() {
         let r = small_run(PolicyKind::Scheme1Adaptive, 17);
-        let consumed_via_batteries: f64 = r
-            .nodes
-            .iter()
-            .map(|n| 10.0 - n.remaining_energy_j)
-            .sum();
+        let consumed_via_batteries: f64 = r.nodes.iter().map(|n| 10.0 - n.remaining_energy_j).sum();
         // Drawn energy can exceed initial-remaining only by the final draws
         // that crossed zero; on a 60 s run nothing should be near depletion.
         assert!((r.ledger.total() - consumed_via_batteries).abs() < 1e-6);

@@ -14,9 +14,7 @@ fn main() {
     let config = ScenarioConfig::small(PolicyKind::Scheme1Adaptive, 5.0, 42);
     println!(
         "simulating {} nodes for {} under {}",
-        config.node_count,
-        config.duration,
-        config.policy
+        config.node_count, config.duration, config.policy
     );
 
     let result = SimulationRun::new(config).run();
@@ -25,8 +23,14 @@ fn main() {
     println!("packets generated : {}", result.perf.generated());
     println!("packets delivered : {}", result.perf.delivered());
     println!("delivery rate     : {:.1}%", result.delivery_rate() * 100.0);
-    println!("mean packet delay : {:.1} ms", result.perf.average_delay_ms());
-    println!("bursts / collisions: {} / {}", result.bursts, result.collisions);
+    println!(
+        "mean packet delay : {:.1} ms",
+        result.perf.average_delay_ms()
+    );
+    println!(
+        "bursts / collisions: {} / {}",
+        result.bursts, result.collisions
+    );
     println!(
         "energy per packet : {:.3} mJ",
         result

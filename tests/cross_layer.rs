@@ -37,8 +37,12 @@ fn good_links_deliver_at_their_selected_mode() {
     for i in 0..500 {
         let snr = link.snr_db(SimTime::from_millis(i * 120));
         if let Some(mode) = TransmissionMode::best_for_snr(snr) {
-            let per = packet_error_rate(mode.modulation(), mode.code_rate(), snr, frame.payload_bits);
-            assert!(per < 0.12, "mode {mode} selected at {snr:.1} dB but PER = {per}");
+            let per =
+                packet_error_rate(mode.modulation(), mode.code_rate(), snr, frame.payload_bits);
+            assert!(
+                per < 0.12,
+                "mode {mode} selected at {snr:.1} dB but PER = {per}"
+            );
             usable += 1;
         }
     }
@@ -106,7 +110,7 @@ fn mac_driven_by_real_channel_measurements_transmits_eventually() {
                 if let SensorAction::StartTransmission { burst_size } =
                     mac.backoff_expired(signal2, threshold, 6, false)
                 {
-                    assert!(burst_size <= 8 && burst_size >= 1);
+                    assert!((1..=8).contains(&burst_size));
                     transmitted = true;
                     break;
                 }

@@ -6,7 +6,12 @@ use caem_suite::simcore::time::Duration;
 use caem_suite::wsnsim::sweep::{compare_policies, PAPER_POLICIES};
 use caem_suite::wsnsim::{ScenarioConfig, SimulationRun};
 
-fn run_small(policy: PolicyKind, rate: f64, seed: u64, secs: u64) -> caem_suite::wsnsim::SimulationResult {
+fn run_small(
+    policy: PolicyKind,
+    rate: f64,
+    seed: u64,
+    secs: u64,
+) -> caem_suite::wsnsim::SimulationResult {
     SimulationRun::new(
         ScenarioConfig::small(policy, rate, seed).with_duration(Duration::from_secs(secs)),
     )
@@ -83,8 +88,14 @@ fn paper_orderings_hold_on_a_medium_network() {
     let e_leach = leach.per_packet_energy().joules_per_packet().unwrap();
     let e_s1 = s1.per_packet_energy().joules_per_packet().unwrap();
     let e_s2 = s2.per_packet_energy().joules_per_packet().unwrap();
-    assert!(e_s1 < e_leach, "Scheme 1 ({e_s1}) must beat pure LEACH ({e_leach})");
-    assert!(e_s2 < e_leach, "Scheme 2 ({e_s2}) must beat pure LEACH ({e_leach})");
+    assert!(
+        e_s1 < e_leach,
+        "Scheme 1 ({e_s1}) must beat pure LEACH ({e_leach})"
+    );
+    assert!(
+        e_s2 < e_leach,
+        "Scheme 2 ({e_s2}) must beat pure LEACH ({e_leach})"
+    );
 
     // Remaining energy ordering (Fig. 8): CAEM schemes retain more.
     let rem = |r: &caem_suite::wsnsim::SimulationResult| {
@@ -105,15 +116,23 @@ fn dead_network_stops_consuming() {
     cfg.initial_energy_j = 0.3;
     cfg.duration = Duration::from_secs(120);
     let r = SimulationRun::new(cfg).run();
-    assert_eq!(r.nodes_alive(), 0, "0.3 J at 20 pkt/s must exhaust every node");
+    assert_eq!(
+        r.nodes_alive(),
+        0,
+        "0.3 J at 20 pkt/s must exhaust every node"
+    );
     assert!(r.network_lifetime_secs(0.8).is_some());
     let last = r.energy.series().last().unwrap().1;
-    assert!(last < 0.05, "average remaining energy should be ~0, got {last}");
+    assert!(
+        last < 0.05,
+        "average remaining energy should be ~0, got {last}"
+    );
 }
 
 #[test]
 fn unbounded_buffers_never_drop() {
-    let cfg = ScenarioConfig::small(PolicyKind::Scheme2Fixed, 10.0, 13).with_duration(Duration::from_secs(60))
+    let cfg = ScenarioConfig::small(PolicyKind::Scheme2Fixed, 10.0, 13)
+        .with_duration(Duration::from_secs(60))
         .with_unbounded_buffers();
     let r = SimulationRun::new(cfg).run();
     assert_eq!(r.perf.dropped_overflow(), 0);

@@ -68,7 +68,7 @@ proptest! {
         let mut deltas_seen = 0;
         for (i, &q) in lens.iter().enumerate() {
             let out = p.on_arrival(q);
-            if (i as u32 + 1) % k == 0 {
+            if (i as u32 + 1).is_multiple_of(k) {
                 samples.push(q);
                 if samples.len() >= 2 {
                     deltas_seen += 1;

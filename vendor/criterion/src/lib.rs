@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`: enough API surface to compile and run
+//! the workspace's benches (`bench_function`, `benchmark_group`,
+//! `bench_with_input`, `criterion_group!`, `criterion_main!`, `black_box`).
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up, then
+//! a fixed measurement batch, and prints the mean wall-clock per iteration.
+//! When invoked with `--test` (as `cargo test --benches` does) each benchmark
+//! body runs exactly once, so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.test_mode, self.sample_size, &mut body);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (stand-in for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measurement sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(&label, self.parent.test_mode, samples, &mut |b| {
+            body(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterised benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the parameter's `Display` form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Build an id from a function name and parameter.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Timing harness handed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Mean wall-clock per iteration measured by the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine` over the configured number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / self.sample_size as u32);
+    }
+}
+
+fn run_one(label: &str, test_mode: bool, sample_size: usize, body: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        test_mode,
+        sample_size,
+        last_mean: None,
+    };
+    body(&mut bencher);
+    match bencher.last_mean {
+        Some(mean) => println!("bench {label:<50} {mean:>12.2?}/iter ({sample_size} samples)"),
+        None if test_mode => println!("bench {label:<50} ok (test mode)"),
+        None => println!("bench {label:<50} (no iter call)"),
+    }
+}
+
+/// Declare a group of benchmark functions (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the parts of `rand` this workspace uses: the
+//! `RngCore` / `SeedableRng` traits and the `Error` type.  `caem-simcore`
+//! implements these for its own xoshiro-style generator; no sampling
+//! machinery from the real crate is required.
+
+/// Error type for fallible RNG operations (never produced by this suite's
+/// deterministic generators, but part of the trait signature).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random-number-generator interface (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Seedable construction interface (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Fixed-size seed type.
+    type Seed;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}

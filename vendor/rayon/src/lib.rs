@@ -1,0 +1,187 @@
+//! Offline stand-in for `rayon`, covering the surface this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Work is fanned out over `std::thread::scope` with one chunk per available
+//! core.  Results are written back by index, so `collect` preserves input
+//! order exactly like rayon's indexed parallel iterators — a property the
+//! determinism tests rely on.
+//!
+//! Set `RAYON_NUM_THREADS=1` to force serial execution (used by the
+//! serial-versus-parallel determinism test).
+
+use std::num::NonZeroUsize;
+
+/// The imports users expect from `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// How many worker threads a parallel call may use.
+fn thread_budget() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` on every item of `items` in parallel, preserving input order in
+/// the returned vector.
+fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread_budget().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        // Pair each output chunk with its input chunk; each worker owns its
+        // output slice exclusively, so no locking is needed.
+        let mut rest: &mut [Option<R>] = &mut slots;
+        let mut start = 0;
+        while start < n {
+            let len = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let inputs = &items[start..start + len];
+            scope.spawn(move || {
+                for (slot, item) in head.iter_mut().zip(inputs) {
+                    *slot = Some(f(item));
+                }
+            });
+            start += len;
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Parallel iterator over `&[T]`, produced by [`IntoParallelRefIterator::par_iter`].
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator; terminal operation is [`Map::collect`].
+pub struct Map<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> Map<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, F> Map<'a, T, F> {
+    /// Execute the map in parallel and collect results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(&'a T) -> C::Item + Sync,
+        C: FromParallel,
+        C::Item: Send,
+    {
+        C::from_vec(parallel_map(self.items, &self.f))
+    }
+}
+
+/// Conversion trait mirroring rayon's `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+    /// Create a parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Collections `collect` can produce (only `Vec<R>` is needed here).
+pub trait FromParallel {
+    /// Element type.
+    type Item;
+    /// Build the collection from an ordered vector.
+    fn from_vec(v: Vec<Self::Item>) -> Self;
+}
+
+impl<R> FromParallel for Vec<R> {
+    type Item = R;
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_arrays_and_empty_inputs() {
+        let arr = [1u32, 2, 3];
+        let out: Vec<u32> = arr.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        let outer: Vec<usize> = (0..4).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..8).collect();
+                let mapped: Vec<usize> = inner.par_iter().map(|&j| i * 10 + j).collect();
+                mapped.into_iter().sum()
+            })
+            .collect();
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums[1], (0..8).map(|j| 10 + j).sum());
+    }
+}
