@@ -21,8 +21,8 @@ use caem_bench::{apply_quick, quick_mode, seed_from_args};
 use caem_energy::codec::CodecEnergyModel;
 use caem_mac::burst::BurstPolicy;
 use caem_simcore::time::Duration;
-use caem_wsnsim::{ScenarioConfig, SimulationRun};
-use rayon::prelude::*;
+use caem_wsnsim::experiment::run_configs;
+use caem_wsnsim::ScenarioConfig;
 
 struct Ablation {
     label: &'static str,
@@ -119,11 +119,16 @@ fn main() {
         },
     ];
 
+    // Enumerate every variant's config up front, then run the flat list
+    // through the experiment engine's single parallel layer.
+    let configs: Vec<ScenarioConfig> = ablations
+        .iter()
+        .map(|a| (a.configure)(base_config(seed, quick)))
+        .collect();
     let rows: Vec<(String, f64, f64, f64)> = ablations
-        .par_iter()
-        .map(|a| {
-            let cfg = (a.configure)(base_config(seed, quick));
-            let result = SimulationRun::new(cfg).run();
+        .iter()
+        .zip(run_configs(&configs))
+        .map(|(a, result)| {
             (
                 a.label.to_string(),
                 result

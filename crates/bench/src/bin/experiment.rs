@@ -1,0 +1,116 @@
+//! The replicated experiment grid: every scenario of the diversity zoo ×
+//! every protocol × many seed replicates, run through the sharded experiment
+//! engine's single parallel layer and reported as mean ± 95 % CI per metric.
+//!
+//! This is the evaluation the paper could not afford: instead of one
+//! single-seed point estimate on one uniform deployment, each (scenario,
+//! policy) cell aggregates independent replicates over diverse deployments
+//! (uniform / grid / Gaussian hotspots / corridor), heterogeneous initial
+//! batteries and random node churn.
+//!
+//! ```bash
+//! cargo run -p caem-bench --release --bin experiment
+//! cargo run -p caem-bench --release --bin experiment -- --quick  # smoke run
+//! ```
+//!
+//! The full grid is written as JSON to `BENCH_experiment.json` at the
+//! repository root (`BENCH_experiment_quick.json`, gitignored, for `--quick`
+//! runs).
+
+use caem::policy::PolicyKind;
+use caem_bench::{apply_quick, policy_label, quick_mode, seed_from_args};
+use caem_simcore::time::Duration;
+use caem_wsnsim::experiment::{ExperimentSpec, ScenarioSpec, METRIC_NAMES};
+use caem_wsnsim::{ScenarioConfig, Topology};
+
+fn scenarios(seed: u64, quick: bool) -> Vec<ScenarioSpec> {
+    let horizon = Duration::from_secs(if quick { 120 } else { 400 });
+    let base = |rate: f64| {
+        apply_quick(
+            ScenarioConfig::paper_default(PolicyKind::PureLeach, rate, seed),
+            quick,
+        )
+        .with_duration(horizon)
+    };
+    vec![
+        ScenarioSpec::new("uniform_5pps", base(5.0)),
+        ScenarioSpec::new(
+            "grid_5pps",
+            base(5.0).with_topology(Topology::Grid { jitter_m: 3.0 }),
+        ),
+        ScenarioSpec::new(
+            "hotspots_10pps",
+            base(10.0).with_topology(Topology::GaussianClusters {
+                clusters: 4,
+                sigma_m: 12.0,
+            }),
+        ),
+        ScenarioSpec::new(
+            "corridor_10pps",
+            base(10.0).with_topology(Topology::Corridor {
+                width_fraction: 0.25,
+            }),
+        ),
+        ScenarioSpec::new(
+            "heterogeneous_churn_5pps",
+            base(5.0)
+                .with_energy_spread(0.4)
+                .with_churn_mttf_s(if quick { 1_200.0 } else { 4_000.0 }),
+        ),
+    ]
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let quick = quick_mode();
+    let replicates = if quick { 5 } else { 10 };
+
+    let spec = ExperimentSpec::paper_policies(scenarios(seed, quick), seed, replicates);
+    println!(
+        "experiment grid: {} scenarios x {} policies x {} seeds = {} jobs (single parallel layer)",
+        spec.scenarios.len(),
+        spec.policies.len(),
+        spec.seeds.len(),
+        spec.job_count()
+    );
+    let report = spec.run();
+
+    // Human-readable summary: one block per metric, mean +/- CI per cell.
+    for (mi, metric) in METRIC_NAMES.iter().enumerate() {
+        println!("\n== {metric} (mean +/- 95% CI over {replicates} seeds) ==");
+        let mut header = format!("{:<28}", "scenario");
+        for &policy in &spec.policies {
+            header.push_str(&format!(" {:>26}", policy_label(policy)));
+        }
+        println!("{header}");
+        for spec_scenario in &spec.scenarios {
+            let mut row = format!("{:<28}", spec_scenario.label);
+            for &policy in &spec.policies {
+                let cell = report
+                    .cell(&spec_scenario.label, policy)
+                    .expect("every cell simulated");
+                let s = &cell.metrics[mi];
+                row.push_str(&format!(
+                    " {:>14.4} +/- {:>7.4}",
+                    s.mean(),
+                    s.ci95_half_width()
+                ));
+            }
+            println!("{row}");
+        }
+    }
+
+    let out_path = if quick {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_experiment_quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiment.json")
+    };
+    let text = serde_json::to_string_pretty(&report.to_json()).expect("report serializes");
+    match std::fs::write(out_path, text) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

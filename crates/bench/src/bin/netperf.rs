@@ -22,6 +22,7 @@ use std::time::Instant;
 use caem_bench::{apply_quick, emit, policy_label, quick_mode, seed_from_args};
 use caem_metrics::report::{Column, Table};
 use caem_simcore::time::Duration;
+use caem_wsnsim::experiment::{ExperimentSpec, ScenarioSpec};
 use caem_wsnsim::sweep::{LoadSweepPoint, PolicyComparison, PAPER_POLICIES};
 use caem_wsnsim::{ScenarioConfig, SimulationRun};
 
@@ -45,35 +46,54 @@ fn main() {
     };
     let horizon_s: u64 = if quick { 200 } else { 600 };
 
-    // Run every (load, policy) scenario serially under its own timer: serial
-    // execution keeps the wall-clock attribution per scenario clean even on
-    // many-core hosts (a rayon fan-out would overlap the intervals).
+    // The experiment engine enumerates the (load × policy) grid into its
+    // flat job list (loads as scenarios, one seed); the jobs are then run
+    // *serially* under individual timers — serial execution keeps the
+    // wall-clock attribution per scenario clean even on many-core hosts (a
+    // parallel fan-out would overlap the intervals).
+    let spec = ExperimentSpec::paper_policies(
+        loads
+            .iter()
+            .map(|&load| {
+                ScenarioSpec::new(
+                    format!("load_{load}pps"),
+                    apply_quick(
+                        ScenarioConfig::paper_default(PAPER_POLICIES[0], load, seed),
+                        quick,
+                    )
+                    .with_duration(Duration::from_secs(horizon_s)),
+                )
+            })
+            .collect(),
+        seed,
+        1,
+    );
     let mut timings: Vec<ScenarioTiming> = Vec::new();
     let mut points: Vec<LoadSweepPoint> = Vec::new();
     let bench_started = Instant::now();
-    for &load in &loads {
-        let mut results = Vec::new();
-        for &policy in &PAPER_POLICIES {
-            let cfg = apply_quick(ScenarioConfig::paper_default(policy, load, seed), quick)
-                .with_duration(Duration::from_secs(horizon_s));
-            let sim_seconds = cfg.duration.as_secs_f64();
-            let started = Instant::now();
-            let result = SimulationRun::new(cfg).run();
-            let wall_clock_s = started.elapsed().as_secs_f64();
-            timings.push(ScenarioTiming {
-                policy: policy_label(policy),
-                load_pps: load,
-                wall_clock_s,
-                events: result.events_processed,
-                events_per_sec: result.events_processed as f64 / wall_clock_s.max(1e-9),
-                sim_seconds,
-            });
-            results.push(result);
-        }
-        points.push(LoadSweepPoint {
+    for job in spec.enumerate_jobs() {
+        let load = loads[job.scenario];
+        let sim_seconds = job.config.duration.as_secs_f64();
+        let started = Instant::now();
+        let result = SimulationRun::new(job.config).run();
+        let wall_clock_s = started.elapsed().as_secs_f64();
+        timings.push(ScenarioTiming {
+            policy: policy_label(job.policy),
             load_pps: load,
-            comparison: PolicyComparison { results },
+            wall_clock_s,
+            events: result.events_processed,
+            events_per_sec: result.events_processed as f64 / wall_clock_s.max(1e-9),
+            sim_seconds,
         });
+        match points.last_mut() {
+            Some(point) if point.load_pps == load => point.comparison.results.push(result),
+            _ => points.push(LoadSweepPoint {
+                load_pps: load,
+                comparison: PolicyComparison {
+                    results: vec![result],
+                },
+            }),
+        }
     }
     let total_wall_s = bench_started.elapsed().as_secs_f64();
 

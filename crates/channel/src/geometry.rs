@@ -98,6 +98,55 @@ impl Field {
         (0..n).map(|_| self.random_position(rng)).collect()
     }
 
+    /// Deploy `n` nodes in Gaussian hotspot clusters: `clusters` centre
+    /// points are drawn uniformly in the field, then nodes are assigned to
+    /// centres round-robin and scattered around them with isotropic normal
+    /// offsets of standard deviation `sigma` metres (clamped to the field).
+    ///
+    /// Models event-driven deployments where sensing density concentrates
+    /// around phenomena of interest instead of covering the field uniformly.
+    pub fn gaussian_cluster_deployment(
+        &self,
+        n: usize,
+        clusters: usize,
+        sigma: f64,
+        rng: &mut StreamRng,
+    ) -> Vec<Position> {
+        assert!(clusters > 0, "need at least one hotspot cluster");
+        assert!(sigma >= 0.0, "cluster spread must be non-negative");
+        let centers: Vec<Position> = (0..clusters).map(|_| self.random_position(rng)).collect();
+        (0..n)
+            .map(|i| {
+                let c = centers[i % clusters];
+                let p = Position::new(
+                    c.x + sigma * rng.standard_normal(),
+                    c.y + sigma * rng.standard_normal(),
+                );
+                self.clamp(p)
+            })
+            .collect()
+    }
+
+    /// Deploy `n` nodes uniformly inside a horizontal corridor spanning the
+    /// full width of the field and `width_fraction` of its height, centred
+    /// vertically — the pipeline / road / border-line monitoring geometry.
+    pub fn corridor_deployment(
+        &self,
+        n: usize,
+        width_fraction: f64,
+        rng: &mut StreamRng,
+    ) -> Vec<Position> {
+        assert!(
+            width_fraction > 0.0 && width_fraction <= 1.0,
+            "corridor width fraction must be in (0, 1]"
+        );
+        let band = self.height * width_fraction;
+        let y0 = (self.height - band) / 2.0;
+        (0..n)
+            .map(|_| Position::new(rng.uniform(0.0, self.width), y0 + rng.uniform(0.0, band)))
+            .collect()
+    }
+
     /// Place `n` nodes on a jittered grid — a deterministic but realistic
     /// alternative deployment used by some examples and ablations.
     pub fn grid_deployment(&self, n: usize, jitter: f64, rng: &mut StreamRng) -> Vec<Position> {
@@ -187,6 +236,56 @@ mod tests {
             assert_eq!(nodes.len(), n);
             assert!(nodes.iter().all(|p| f.contains(p)));
         }
+    }
+
+    #[test]
+    fn gaussian_cluster_deployment_stays_in_field_and_clusters() {
+        let f = Field::paper_default();
+        let mut rng = StreamRng::from_seed_u64(11);
+        let nodes = f.gaussian_cluster_deployment(120, 4, 8.0, &mut rng);
+        assert_eq!(nodes.len(), 120);
+        assert!(nodes.iter().all(|p| f.contains(p)));
+        // Hotspots concentrate mass: the mean nearest-neighbour distance must
+        // be clearly below the uniform deployment's.
+        let mean_nn = |pts: &[Position]| -> f64 {
+            pts.iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    pts.iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, q)| p.distance_to(q))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / pts.len() as f64
+        };
+        let mut rng2 = StreamRng::from_seed_u64(11);
+        let uniform = f.random_deployment(120, &mut rng2);
+        assert!(mean_nn(&nodes) < mean_nn(&uniform));
+    }
+
+    #[test]
+    fn corridor_deployment_stays_inside_the_band() {
+        let f = Field::paper_default();
+        let mut rng = StreamRng::from_seed_u64(5);
+        let nodes = f.corridor_deployment(80, 0.2, &mut rng);
+        assert_eq!(nodes.len(), 80);
+        assert!(nodes.iter().all(|p| f.contains(p)));
+        // 20% band centred vertically: y in [40, 60].
+        assert!(nodes.iter().all(|p| p.y >= 40.0 && p.y <= 60.0));
+        // x still spans most of the field.
+        let xmin = nodes.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let xmax = nodes.iter().map(|p| p.x).fold(0.0, f64::max);
+        assert!(xmax - xmin > 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn corridor_width_fraction_validated() {
+        let f = Field::paper_default();
+        let mut rng = StreamRng::from_seed_u64(1);
+        f.corridor_deployment(10, 0.0, &mut rng);
     }
 
     #[test]

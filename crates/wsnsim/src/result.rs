@@ -54,6 +54,9 @@ pub struct SimulationResult {
     pub collisions: u64,
     /// Total number of completed bursts.
     pub bursts: u64,
+    /// Nodes that left the network through churn injection (non-energy
+    /// failures), as opposed to battery depletion.
+    pub node_failures: u64,
     /// Number of discrete events the run's event loop processed — the
     /// denominator-free basis for the `netperf` events/sec throughput metric.
     pub events_processed: u64,
@@ -155,6 +158,7 @@ mod tests {
             ],
             collisions: 3,
             bursts: 40,
+            node_failures: 0,
             events_processed: 500,
             queue_capacity: 64,
             queue_high_watermark: 20,

@@ -82,6 +82,7 @@ pub struct SimulationRun {
     fairness: QueueFairness,
     collisions: u64,
     bursts: u64,
+    node_failures: u64,
     events_processed: u64,
     generated_per_node: Vec<u64>,
     delivered_per_node: Vec<u64>,
@@ -108,8 +109,8 @@ impl SimulationRun {
         let streams = RngStream::new(cfg.seed);
         let mut placement_rng = streams.derive(components::PLACEMENT, 0);
         let positions = cfg
-            .field
-            .random_deployment(cfg.node_count, &mut placement_rng);
+            .topology
+            .generate(&cfg.field, cfg.node_count, &mut placement_rng);
 
         let nodes: Vec<SensorNode> = (0..cfg.node_count)
             .map(|id| {
@@ -117,10 +118,20 @@ impl SimulationRun {
                     Some(c) => PacketBuffer::with_capacity(c),
                     None => PacketBuffer::unbounded(),
                 };
+                // Heterogeneous initial charge: each node draws its spread
+                // factor from its own stream, so adding heterogeneity never
+                // perturbs placement or any other random sequence.
+                let initial_energy = if cfg.initial_energy_spread > 0.0 {
+                    let spread = cfg.initial_energy_spread;
+                    let mut rng = streams.derive(components::HETEROGENEITY, id as u64);
+                    cfg.initial_energy_j * (1.0 + rng.uniform(-spread, spread))
+                } else {
+                    cfg.initial_energy_j
+                };
                 SensorNode {
                     id,
                     position: positions[id],
-                    battery: Battery::new(cfg.initial_energy_j),
+                    battery: Battery::new(initial_energy),
                     buffer,
                     mac: SensorMac::new(
                         SensorMacConfig {
@@ -186,6 +197,7 @@ impl SimulationRun {
             fairness: QueueFairness::new(),
             collisions: 0,
             bursts: 0,
+            node_failures: 0,
             events_processed: 0,
             generated_per_node: vec![0; cfg.node_count],
             delivered_per_node: vec![0; cfg.node_count],
@@ -206,6 +218,16 @@ impl SimulationRun {
         for id in 0..run.cfg.node_count {
             let first = run.nodes[id].source.next_arrival(SimTime::ZERO);
             run.schedule(first, NetworkEvent::PacketArrival { node: id as u32 });
+        }
+        // Churn injection: every node draws one exponential failure time
+        // from its own stream; failures beyond the horizon are dropped by
+        // `schedule`, so light churn costs nothing in the event loop.
+        if let Some(churn) = run.cfg.churn {
+            for id in 0..run.cfg.node_count {
+                let mut rng = streams.derive(components::CHURN, id as u64);
+                let at = SimTime::from_secs_f64(rng.exponential_mean(churn.mean_time_to_failure_s));
+                run.schedule(at, NetworkEvent::NodeFailure { node: id as u32 });
+            }
         }
         run
     }
@@ -658,6 +680,19 @@ impl SimulationRun {
         }
     }
 
+    /// Churn injection: the node leaves the network for a non-energy reason.
+    /// Its leftover charge stays in the battery (the hardware failed, the
+    /// cell did not), it simply stops participating — any burst it had on
+    /// the air is cleaned up by the usual stale-event paths.
+    fn handle_node_failure(&mut self, node: usize) {
+        if !self.nodes[node].alive {
+            return; // already dead of battery depletion
+        }
+        self.nodes[node].alive = false;
+        self.node_failures += 1;
+        self.lifetime.record_death(node, self.now);
+    }
+
     fn handle_energy_snapshot(&mut self) {
         let interval = self.cfg.energy_snapshot_interval;
         // Baseline costs accrued over the past interval: data-radio sleep for
@@ -722,6 +757,7 @@ impl SimulationRun {
                 NetworkEvent::TransmissionComplete { node } => {
                     self.handle_transmission_complete(node as usize)
                 }
+                NetworkEvent::NodeFailure { node } => self.handle_node_failure(node as usize),
                 NetworkEvent::EnergySnapshot => self.handle_energy_snapshot(),
                 NetworkEvent::FairnessSnapshot => self.handle_fairness_snapshot(),
             }
@@ -769,6 +805,7 @@ impl SimulationRun {
             nodes,
             collisions: self.collisions,
             bursts: self.bursts,
+            node_failures: self.node_failures,
             events_processed: self.events_processed,
             queue_capacity: self.queue.capacity(),
             queue_high_watermark: self.queue.high_watermark(),
@@ -893,6 +930,82 @@ mod tests {
         // Drawn energy can exceed initial-remaining only by the final draws
         // that crossed zero; on a 60 s run nothing should be near depletion.
         assert!((r.ledger.total() - consumed_via_batteries).abs() < 1e-6);
+    }
+
+    #[test]
+    fn churn_injection_kills_nodes_without_draining_batteries() {
+        let cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 21)
+            .with_duration(Duration::from_secs(30))
+            .with_churn_mttf_s(20.0);
+        let r = SimulationRun::new(cfg.clone()).run();
+        assert!(
+            r.node_failures > 0,
+            "mttf 20s over 30s must fail some nodes"
+        );
+        assert!(r.lifetime.dead_count() as u64 >= r.node_failures);
+        // Churned nodes leave their charge behind: some dead node still
+        // holds most of its 10 J battery.
+        assert!(r
+            .nodes
+            .iter()
+            .any(|n| n.death_time.is_some() && n.remaining_energy_j > 5.0));
+        // Churn draws come from their own stream: the injection is
+        // reproducible bit-for-bit.
+        let again = SimulationRun::new(cfg).run();
+        assert_eq!(r.node_failures, again.node_failures);
+        assert_eq!(r.perf.delivered(), again.perf.delivered());
+    }
+
+    #[test]
+    fn energy_spread_diversifies_initial_charge_deterministically() {
+        let cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 22)
+            .with_duration(Duration::from_secs(5))
+            .with_energy_spread(0.5);
+        let a = SimulationRun::new(cfg.clone()).run();
+        let b = SimulationRun::new(cfg).run();
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(
+                x.remaining_energy_j.to_bits(),
+                y.remaining_energy_j.to_bits()
+            );
+        }
+        let min = a
+            .nodes
+            .iter()
+            .map(|n| n.remaining_energy_j)
+            .fold(f64::INFINITY, f64::min);
+        let max = a
+            .nodes
+            .iter()
+            .map(|n| n.remaining_energy_j)
+            .fold(0.0, f64::max);
+        assert!(
+            max - min > 2.0,
+            "spread 0.5 on 10 J must diversify charge, got {min:.2}..{max:.2}"
+        );
+    }
+
+    #[test]
+    fn every_topology_runs_to_horizon() {
+        use crate::config::Topology;
+        for topology in [
+            Topology::Grid { jitter_m: 2.0 },
+            Topology::GaussianClusters {
+                clusters: 3,
+                sigma_m: 10.0,
+            },
+            Topology::Corridor {
+                width_fraction: 0.3,
+            },
+        ] {
+            let cfg = ScenarioConfig::small(PolicyKind::Scheme1Adaptive, 5.0, 23)
+                .with_duration(Duration::from_secs(10))
+                .with_topology(topology);
+            let r = SimulationRun::new(cfg).run();
+            assert_eq!(r.end_time, SimTime::from_secs(10), "{topology:?}");
+            assert!(r.perf.generated() > 0, "{topology:?}");
+            assert!(r.perf.delivered() > 0, "{topology:?}");
+        }
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //! figure binaries.
 //!
 //! Independent simulations (different protocols, loads, seeds) are
-//! embarrassingly parallel; [`load_sweep`] and [`compare_policies`] fan them
-//! out across a rayon thread pool.
+//! embarrassingly parallel.  Both entry points enumerate their full
+//! (load × policy) grid into one flat work list and run it through the
+//! experiment engine's single parallel layer
+//! ([`crate::experiment::run_configs`]); the earlier implementation nested a
+//! per-load `par_iter` around a per-policy `par_iter`, which oversubscribed
+//! the machine by loads × cores.
 
 use caem::policy::PolicyKind;
-use rayon::prelude::*;
 
 use crate::config::ScenarioConfig;
+use crate::experiment::run_configs;
 use crate::result::SimulationResult;
-use crate::runner::SimulationRun;
 
 /// The three protocol variants the paper compares, in its plotting order.
 pub const PAPER_POLICIES: [PolicyKind; 3] = [
@@ -44,11 +47,13 @@ pub fn compare_policies<F>(make_config: F) -> PolicyComparison
 where
     F: Fn(PolicyKind) -> ScenarioConfig + Sync,
 {
-    let results: Vec<SimulationResult> = PAPER_POLICIES
-        .par_iter()
-        .map(|&policy| SimulationRun::new(make_config(policy)).run())
+    let configs: Vec<ScenarioConfig> = PAPER_POLICIES
+        .iter()
+        .map(|&policy| make_config(policy))
         .collect();
-    PolicyComparison { results }
+    PolicyComparison {
+        results: run_configs(&configs),
+    }
 }
 
 /// One point of a traffic-load sweep.
@@ -65,11 +70,25 @@ pub fn load_sweep<F>(loads_pps: &[f64], make_config: F) -> Vec<LoadSweepPoint>
 where
     F: Fn(PolicyKind, f64) -> ScenarioConfig + Sync,
 {
+    // Flatten the whole (load × policy) grid before fanning anything out:
+    // one work list, one parallel layer, no nesting.
+    let make_config = &make_config;
+    let configs: Vec<ScenarioConfig> = loads_pps
+        .iter()
+        .flat_map(|&load| {
+            PAPER_POLICIES
+                .iter()
+                .map(move |&policy| make_config(policy, load))
+        })
+        .collect();
+    let mut results = run_configs(&configs).into_iter();
     loads_pps
-        .par_iter()
+        .iter()
         .map(|&load| LoadSweepPoint {
             load_pps: load,
-            comparison: compare_policies(|policy| make_config(policy, load)),
+            comparison: PolicyComparison {
+                results: results.by_ref().take(PAPER_POLICIES.len()).collect(),
+            },
         })
         .collect()
 }

@@ -1,23 +1,169 @@
 //! Offline stand-in for `rayon`, covering the surface this workspace uses:
 //! `slice.par_iter().map(f).collect::<Vec<_>>()`.
 //!
-//! Work is fanned out over `std::thread::scope` with one chunk per available
-//! core.  Results are written back by index, so `collect` preserves input
-//! order exactly like rayon's indexed parallel iterators — a property the
-//! determinism tests rely on.
+//! Work is fanned out over `std::thread::scope`; results are written back by
+//! index, so `collect` preserves input order exactly like rayon's indexed
+//! parallel iterators — a property the determinism tests rely on.
 //!
-//! Set `RAYON_NUM_THREADS=1` to force serial execution (used by the
-//! serial-versus-parallel determinism test).
+//! ## Process-wide thread budget
+//!
+//! Unlike the original stand-in, which sized every `par_iter` call
+//! independently (so nested calls multiplied: an outer fan-out of `L` items
+//! on a `C`-core machine could put `L × C` live workers on the box), all
+//! calls now draw spawned workers from one shared [`ThreadBudget`] capped at
+//! the machine's available parallelism.  A call reserves as many workers as
+//! are left in the budget, and a nested call that finds the budget exhausted
+//! simply runs inline on its caller (which is itself an already-counted
+//! worker).  Total live spawned workers therefore never exceed the cap, *by
+//! construction*, no matter how call sites nest.
+//!
+//! Environment knobs:
+//!
+//! * `RAYON_NUM_THREADS=1` forces serial execution of each call (used by the
+//!   serial-versus-parallel determinism test).  Values > 1 cap the workers a
+//!   single call may request; the process-wide cap still applies on top.
+//! * `RAYON_TOTAL_THREADS=n` overrides the process-wide cap (read once, at
+//!   the first parallel call).
+//!
+//! [`peak_live_workers`] exposes the high-watermark of concurrently live
+//! spawned workers so tests can assert the cap was honoured.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The imports users expect from `rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
-/// How many worker threads a parallel call may use.
-fn thread_budget() -> usize {
+/// A shared budget of live spawned worker threads.
+///
+/// `reserve` hands out up to the remaining capacity (possibly zero) and
+/// `release` returns it; the peak of concurrently reserved workers is
+/// recorded so the no-oversubscription property is observable.
+#[derive(Debug)]
+struct ThreadBudget {
+    cap: usize,
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl ThreadBudget {
+    const fn new(cap: usize) -> Self {
+        ThreadBudget {
+            cap,
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reserve up to `want` workers, returning how many were granted
+    /// (possibly 0 when the budget is exhausted).
+    fn reserve(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut live = self.live.load(Ordering::Relaxed);
+        loop {
+            let grant = want.min(self.cap.saturating_sub(live));
+            if grant == 0 {
+                return 0;
+            }
+            match self.live.compare_exchange_weak(
+                live,
+                live + grant,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(live + grant, Ordering::AcqRel);
+                    return grant;
+                }
+                Err(actual) => live = actual,
+            }
+        }
+    }
+
+    /// Return `n` previously reserved workers to the budget.
+    fn release(&self, n: usize) {
+        if n > 0 {
+            self.live.fetch_sub(n, Ordering::AcqRel);
+        }
+    }
+
+    fn live(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::Acquire)
+    }
+}
+
+/// RAII handle for reserved workers: releasing on drop keeps the budget
+/// intact even when a worker closure panics (`std::thread::scope` re-raises
+/// the panic through the caller, which would otherwise skip the release and
+/// permanently shrink the process budget).
+struct BudgetReservation<'a> {
+    budget: &'a ThreadBudget,
+    granted: usize,
+}
+
+impl<'a> BudgetReservation<'a> {
+    fn take(budget: &'a ThreadBudget, want: usize) -> Self {
+        BudgetReservation {
+            granted: budget.reserve(want),
+            budget,
+        }
+    }
+}
+
+impl Drop for BudgetReservation<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.granted);
+    }
+}
+
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn global_budget() -> &'static ThreadBudget {
+    static GLOBAL: OnceLock<ThreadBudget> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let cap = std::env::var("RAYON_TOTAL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(machine_parallelism);
+        ThreadBudget::new(cap)
+    })
+}
+
+/// The process-wide cap on live spawned workers (all `par_iter` calls
+/// combined).
+pub fn process_thread_cap() -> usize {
+    global_budget().cap
+}
+
+/// Number of spawned workers currently live across the whole process.
+pub fn live_workers() -> usize {
+    global_budget().live()
+}
+
+/// High-watermark of concurrently live spawned workers since process start.
+/// Never exceeds [`process_thread_cap`] — the regression guard for the
+/// nested-fan-out oversubscription bug.
+pub fn peak_live_workers() -> usize {
+    global_budget().peak()
+}
+
+/// How many workers a single parallel call may request before the shared
+/// budget is consulted.
+fn per_call_budget(cap: usize) -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             if n >= 1 {
@@ -25,25 +171,38 @@ fn thread_budget() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    cap
 }
 
 /// Run `f` on every item of `items` in parallel, preserving input order in
-/// the returned vector.
-fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+/// the returned vector.  Workers are reserved from `budget`; when none are
+/// available the call degrades to serial execution on the calling thread.
+fn parallel_map_with_budget<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: &(impl Fn(&'a T) -> R + Sync),
+    budget: &ThreadBudget,
+) -> Vec<R> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = thread_budget().min(n);
-    if workers <= 1 {
+    let want = per_call_budget(budget.cap).min(n);
+    if want <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Held through the scope below and released on drop, so a panicking
+    // worker cannot leak its slots out of the process budget.
+    let reservation = BudgetReservation::take(budget, want);
+    let granted = reservation.granted;
+    if granted <= 1 {
+        // Not enough budget to overlap anything: run inline (the caller is
+        // either the root thread or an already-counted worker).
+        drop(reservation);
         return items.iter().map(f).collect();
     }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    let chunk = n.div_ceil(workers);
+    let chunk = n.div_ceil(granted);
     std::thread::scope(|scope| {
         // Pair each output chunk with its input chunk; each worker owns its
         // output slice exclusively, so no locking is needed.
@@ -62,10 +221,15 @@ fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R +
             start += len;
         }
     });
+    drop(reservation);
     slots
         .into_iter()
         .map(|s| s.expect("worker filled every slot"))
         .collect()
+}
+
+fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    parallel_map_with_budget(items, f, global_budget())
 }
 
 /// Parallel iterator over `&[T]`, produced by [`IntoParallelRefIterator::par_iter`].
@@ -152,6 +316,7 @@ impl<R> FromParallel for Vec<R> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -183,5 +348,96 @@ mod tests {
             .collect();
         assert_eq!(sums.len(), 4);
         assert_eq!(sums[1], (0..8).map(|j| 10 + j).sum());
+        // Whatever the machine size, the global budget was never blown.
+        assert!(peak_live_workers() <= process_thread_cap());
+    }
+
+    /// Regression test for the nested-fan-out oversubscription bug: with the
+    /// old per-call sizing, an outer fan-out of `L` items would let every
+    /// worker spawn a full complement of inner workers (`L × cap` live
+    /// threads).  With the shared budget, a nested call observes the cap and
+    /// the peak of live spawned workers stays at or below it — checked here
+    /// against a private budget so the test is independent of the host's
+    /// core count and of other tests sharing the global budget.
+    #[test]
+    fn nested_calls_observe_the_shared_cap() {
+        let budget = ThreadBudget::new(3);
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = parallel_map_with_budget(
+            &outer,
+            &|&i| {
+                let inner: Vec<usize> = (0..16).collect();
+                let mapped: Vec<usize> =
+                    parallel_map_with_budget(&inner, &|&j| i * 100 + j, &budget);
+                mapped.into_iter().sum()
+            },
+            &budget,
+        );
+        // Results are correct and ordered...
+        for (i, &s) in sums.iter().enumerate() {
+            assert_eq!(s, (0..16).map(|j| i * 100 + j).sum::<usize>());
+        }
+        // ...every reservation was returned...
+        assert_eq!(budget.live(), 0);
+        // ...and at no instant did live spawned workers exceed the cap.
+        assert!(
+            budget.peak() <= 3,
+            "peak {} exceeded the budget cap",
+            budget.peak()
+        );
+    }
+
+    #[test]
+    fn budget_reserve_grants_partially_and_releases() {
+        let budget = ThreadBudget::new(4);
+        assert_eq!(budget.reserve(3), 3);
+        // Only one worker left: a request for two is granted partially.
+        assert_eq!(budget.reserve(2), 1);
+        // Exhausted: further requests get nothing.
+        assert_eq!(budget.reserve(5), 0);
+        assert_eq!(budget.peak(), 4);
+        budget.release(4);
+        assert_eq!(budget.live(), 0);
+        // Capacity is reusable after release; the peak remains.
+        assert_eq!(budget.reserve(2), 2);
+        budget.release(2);
+        assert_eq!(budget.peak(), 4);
+    }
+
+    #[test]
+    fn panicking_worker_does_not_leak_budget() {
+        let budget = ThreadBudget::new(4);
+        let input: Vec<usize> = (0..8).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map_with_budget(
+                &input,
+                &|&x| {
+                    if x == 5 {
+                        panic!("worker dies");
+                    }
+                    x
+                },
+                &budget,
+            )
+        }));
+        assert!(outcome.is_err(), "the worker panic must propagate");
+        // The RAII reservation released every slot despite the panic...
+        assert_eq!(budget.live(), 0);
+        // ...so later calls still get full parallelism.
+        assert_eq!(budget.reserve(4), 4);
+        budget.release(4);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_serial_with_correct_results() {
+        let budget = ThreadBudget::new(2);
+        let held = budget.reserve(2);
+        assert_eq!(held, 2);
+        let input: Vec<u64> = (0..100).collect();
+        let out = parallel_map_with_budget(&input, &|&x| x + 1, &budget);
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+        // The serial fallback reserved nothing extra.
+        assert_eq!(budget.live(), 2);
+        budget.release(held);
     }
 }
