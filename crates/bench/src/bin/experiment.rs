@@ -8,19 +8,33 @@
 //! (uniform / grid / Gaussian hotspots / corridor), heterogeneous initial
 //! batteries and random node churn.
 //!
+//! Every completed job streams to a per-grid JSONL store, so grids are
+//! durable: `--resume` skips the jobs already on disk (an interrupted run
+//! loses only its in-flight jobs), `--reaggregate` rebuilds the report from
+//! the store alone without simulating anything, and `--target-ci <hw>`
+//! switches to sequential stopping — replicate batches are appended until
+//! the worst-cell 95 % CI half-width of `--ci-metric` (default
+//! `delivery_rate`) drops under the target or `--max-replicates` is hit.
+//!
 //! ```bash
 //! cargo run -p caem-bench --release --bin experiment
-//! cargo run -p caem-bench --release --bin experiment -- --quick  # smoke run
+//! cargo run -p caem-bench --release --bin experiment -- --quick      # smoke run
+//! cargo run -p caem-bench --release --bin experiment -- --quick --resume
+//! cargo run -p caem-bench --release --bin experiment -- --quick --reaggregate
+//! cargo run -p caem-bench --release --bin experiment -- --target-ci 0.01
 //! ```
 //!
 //! The full grid is written as JSON to `BENCH_experiment.json` at the
-//! repository root (`BENCH_experiment_quick.json`, gitignored, for `--quick`
-//! runs).
+//! repository root and its JSONL store to `BENCH_experiment_store.jsonl`
+//! (`_quick` variants, gitignored, for `--quick` runs).
 
 use caem::policy::PolicyKind;
-use caem_bench::{apply_quick, policy_label, quick_mode, seed_from_args};
+use caem_bench::{apply_quick, flag_value, has_flag, policy_label, quick_mode, seed_from_args};
 use caem_simcore::time::Duration;
-use caem_wsnsim::experiment::{ExperimentSpec, ScenarioSpec, METRIC_NAMES};
+use caem_wsnsim::experiment::{
+    ExperimentReport, ExperimentSpec, ScenarioSpec, SequentialStopping, METRIC_NAMES,
+};
+use caem_wsnsim::persist::ExperimentStore;
 use caem_wsnsim::{ScenarioConfig, Topology};
 
 fn scenarios(seed: u64, quick: bool) -> Vec<ScenarioSpec> {
@@ -60,24 +74,13 @@ fn scenarios(seed: u64, quick: bool) -> Vec<ScenarioSpec> {
     ]
 }
 
-fn main() {
-    let seed = seed_from_args();
-    let quick = quick_mode();
-    let replicates = if quick { 5 } else { 10 };
-
-    let spec = ExperimentSpec::paper_policies(scenarios(seed, quick), seed, replicates);
-    println!(
-        "experiment grid: {} scenarios x {} policies x {} seeds = {} jobs (single parallel layer)",
-        spec.scenarios.len(),
-        spec.policies.len(),
-        spec.seeds.len(),
-        spec.job_count()
-    );
-    let report = spec.run();
-
+fn print_summary(spec: &ExperimentSpec, report: &ExperimentReport) {
     // Human-readable summary: one block per metric, mean +/- CI per cell.
     for (mi, metric) in METRIC_NAMES.iter().enumerate() {
-        println!("\n== {metric} (mean +/- 95% CI over {replicates} seeds) ==");
+        println!(
+            "\n== {metric} (mean +/- 95% CI over {} seeds) ==",
+            report.seeds.len()
+        );
         let mut header = format!("{:<28}", "scenario");
         for &policy in &spec.policies {
             header.push_str(&format!(" {:>26}", policy_label(policy)));
@@ -86,31 +89,170 @@ fn main() {
         for spec_scenario in &spec.scenarios {
             let mut row = format!("{:<28}", spec_scenario.label);
             for &policy in &spec.policies {
-                let cell = report
-                    .cell(&spec_scenario.label, policy)
-                    .expect("every cell simulated");
-                let s = &cell.metrics[mi];
-                row.push_str(&format!(
-                    " {:>14.4} +/- {:>7.4}",
-                    s.mean(),
-                    s.ci95_half_width()
-                ));
+                // A partial store (crashed grid inspected via --reaggregate)
+                // legitimately misses whole cells; print a gap, don't panic.
+                match report.cell(&spec_scenario.label, policy) {
+                    Some(cell) => {
+                        let s = &cell.metrics[mi];
+                        row.push_str(&format!(
+                            " {:>14.4} +/- {:>7.4}",
+                            s.mean(),
+                            s.ci95_half_width()
+                        ));
+                    }
+                    None => row.push_str(&format!(" {:>26}", "(no records)")),
+                }
             }
             println!("{row}");
         }
     }
+}
 
-    let out_path = if quick {
-        concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../../BENCH_experiment_quick.json"
-        )
-    } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiment.json")
-    };
+fn write_report(report: &ExperimentReport, out_path: &str) {
     let text = serde_json::to_string_pretty(&report.to_json()).expect("report serializes");
     match std::fs::write(out_path, text) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let quick = quick_mode();
+    let replicates = if quick { 5 } else { 10 };
+
+    let (default_store, out_path) = if quick {
+        (
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_experiment_store_quick.jsonl"
+            ),
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_experiment_quick.json"
+            ),
+        )
+    } else {
+        (
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_experiment_store.jsonl"
+            ),
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiment.json"),
+        )
+    };
+    let store_path = flag_value("--store").unwrap_or_else(|| default_store.to_string());
+
+    let spec = ExperimentSpec::paper_policies(scenarios(seed, quick), seed, replicates);
+
+    if has_flag("--reaggregate") {
+        // Offline path: rebuild the report purely from the JSONL store.
+        let store = ExperimentStore::load(&store_path).expect("load experiment store");
+        let report = store.rebuild_report();
+        println!(
+            "re-aggregated {} persisted jobs from {store_path} into {} cells (no simulation)",
+            store.len(),
+            report.cells.len()
+        );
+        print_summary(&spec, &report);
+        write_report(&report, out_path);
+        return;
+    }
+
+    let sequential = has_flag("--target-ci");
+    let target_ci = sequential.then(|| {
+        // Fail loudly on `--target-ci` with the value forgotten — falling
+        // through to a plain run would wipe the store the user was growing.
+        flag_value("--target-ci")
+            .expect("--target-ci requires a value")
+            .parse::<f64>()
+            .expect("--target-ci takes a number")
+    });
+    let custom_store = flag_value("--store").is_some();
+    if !has_flag("--resume") && !sequential && !custom_store {
+        // A plain fixed-replicate run starts a fresh copy of the binary's
+        // *default* store (still streaming every record).  Never deleted:
+        // an explicitly passed `--store` file (reused instead — wiping a
+        // store the user pointed at would destroy their accumulated grid),
+        // and sequential-stopping stores (`--target-ci` exists to grow the
+        // persisted replicate pool).
+        std::fs::remove_file(&store_path).ok();
+    }
+    let mut store = ExperimentStore::open(&store_path).expect("open experiment store");
+    let preexisting = store.len();
+    println!(
+        "experiment grid: {} scenarios x {} policies x {} seeds = {} jobs (single parallel layer, {} on disk)",
+        spec.scenarios.len(),
+        spec.policies.len(),
+        spec.seeds.len(),
+        spec.job_count(),
+        preexisting,
+    );
+
+    let report = if let Some(target) = target_ci {
+        let metric = flag_value("--ci-metric").unwrap_or_else(|| "delivery_rate".to_string());
+        let max_replicates = flag_value("--max-replicates")
+            .map(|v| v.parse().expect("--max-replicates takes an integer"))
+            .unwrap_or(if quick { 12 } else { 30 });
+        let stop = SequentialStopping {
+            metric: metric.clone(),
+            target_half_width: target,
+            batch: replicates,
+            max_replicates,
+        };
+        println!(
+            "sequential stopping on `{metric}`: target 95% CI half-width {target}, batches of {}, cap {max_replicates} replicates",
+            stop.batch
+        );
+        let outcome = spec.run_sequential(&mut store, &stop);
+        for (i, round) in outcome.rounds.iter().enumerate() {
+            println!(
+                "  round {}: {} replicates/cell, worst half-width {:.6}",
+                i + 1,
+                round.replicates,
+                round.worst_half_width
+            );
+        }
+        // The scale-free readout next to the absolute target: how tight the
+        // worst cell is relative to its mean.  `None` (a cell with too few
+        // usable replicates or a zero mean) must surface as "n/a", not as a
+        // fold identity masquerading as perfect precision.
+        let worst_relative = outcome
+            .report
+            .cells
+            .iter()
+            .map(|cell| {
+                cell.metric(&metric)
+                    .and_then(|s| s.ci95_relative_half_width())
+            })
+            .try_fold(0.0f64, |acc, rel| rel.map(|r| acc.max(r)));
+        println!(
+            "{} after {} replicates/cell (worst relative precision {})",
+            if outcome.converged {
+                "converged"
+            } else {
+                "replicate cap reached"
+            },
+            outcome
+                .rounds
+                .last()
+                .expect("at least one round")
+                .replicates,
+            match worst_relative {
+                Some(rel) => format!("+/- {:.2}%", rel * 100.0),
+                None => "undefined for at least one cell".to_string(),
+            }
+        );
+        outcome.report
+    } else {
+        spec.run_with_store(&mut store)
+    };
+    println!(
+        "store {store_path}: {} jobs persisted ({} simulated this run, including stale re-runs)",
+        store.len(),
+        store.appended(),
+    );
+
+    print_summary(&spec, &report);
+    write_report(&report, out_path);
 }

@@ -41,10 +41,39 @@ pub fn seed_from_args() -> u64 {
         .unwrap_or(DEFAULT_SEED)
 }
 
+/// True when the given `--flag` is present on the command line, either
+/// bare (`--flag`, `--flag value`) or in equals form (`--flag=value`) —
+/// both shapes [`flag_value`] accepts must count as "present", otherwise a
+/// presence check and a value lookup for the same flag could disagree.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name || (a.starts_with(name) && a[name.len()..].starts_with('=')))
+}
+
+/// The value of a `--flag value` or `--flag=value` command-line option.
+///
+/// A following `--other` flag is **not** treated as the value (so
+/// `--store --resume` reads as `--store` with its value missing, not as a
+/// store file literally named `--resume`); callers that require a value
+/// should `expect` it so the mistake fails loudly.
+pub fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next().filter(|v| !v.starts_with("--"));
+        }
+        if let Some(rest) = arg.strip_prefix(name) {
+            if let Some(value) = rest.strip_prefix('=') {
+                return Some(value.to_string());
+            }
+        }
+    }
+    None
+}
+
 /// Parse an optional `--quick` flag: figure binaries then run a reduced
 /// scenario (fewer nodes, shorter horizon) so smoke tests stay fast.
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    has_flag("--quick")
 }
 
 /// Shrink a scenario for `--quick` runs.

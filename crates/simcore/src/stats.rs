@@ -12,7 +12,11 @@ use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Single-pass running statistics using Welford's algorithm.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every accumulator field exactly (floats included),
+/// which is what the experiment persistence layer's "bit-identical report"
+/// guarantees are asserted against.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -119,6 +123,19 @@ impl RunningStats {
         }
         let t = t_critical_975(self.count - 1);
         t * (self.sample_variance() / self.count as f64).sqrt()
+    }
+
+    /// The 95 % CI half-width as a fraction of the mean's magnitude — a
+    /// scale-free precision readout ("±2 %" reads the same for a delivery
+    /// rate near 1 and a delay in the hundreds of milliseconds).  Reported
+    /// alongside the absolute half-width that sequential-stopping targets
+    /// are expressed in.  `None` with fewer than two observations or a zero
+    /// mean (relative precision is undefined there).
+    pub fn ci95_relative_half_width(&self) -> Option<f64> {
+        if self.count < 2 || self.mean == 0.0 {
+            return None;
+        }
+        Some(self.ci95_half_width() / self.mean.abs())
     }
 
     /// Merge another accumulator into this one (parallel-reduction friendly).
@@ -493,6 +510,25 @@ mod tests {
         empty.merge(&before);
         assert_eq!(empty.count(), 3);
         assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_half_width_is_scale_free() {
+        let mut a = RunningStats::new();
+        a.extend([1.0, 2.0, 3.0, 4.0]);
+        let mut b = RunningStats::new();
+        b.extend([100.0, 200.0, 300.0, 400.0]);
+        let ra = a.ci95_relative_half_width().unwrap();
+        let rb = b.ci95_relative_half_width().unwrap();
+        assert!((ra - rb).abs() < 1e-12, "same shape ⇒ same relative CI");
+        assert!((ra - a.ci95_half_width() / a.mean()).abs() < 1e-12);
+        // Undefined cases: too few observations, zero mean.
+        let mut single = RunningStats::new();
+        single.push(5.0);
+        assert_eq!(single.ci95_relative_half_width(), None);
+        let mut zero_mean = RunningStats::new();
+        zero_mean.extend([-1.0, 1.0]);
+        assert_eq!(zero_mean.ci95_relative_half_width(), None);
     }
 
     #[test]

@@ -16,6 +16,20 @@
 //! [`RunningStats`] accumulators (mergeable for parallel reduction), and the
 //! report carries mean ± 95 % CI per metric instead of one unqualified
 //! number.
+//!
+//! Aggregation runs through exactly one path: every run — fresh, resumed
+//! from a [`crate::persist::ExperimentStore`], or re-aggregated offline from
+//! JSONL alone — converts its replicates to [`crate::persist::JobRecord`]s
+//! and folds them in the canonical (scenario, policy, seed) order
+//! ([`ExperimentReport::from_records`]).  Bit-identical reports across those
+//! three paths are therefore a property of the construction, not of careful
+//! bookkeeping at each call site.
+//!
+//! [`ExperimentSpec::run_sequential`] adds CI-driven **sequential stopping**
+//! on top of the store: replicate batches are appended per cell until the
+//! 95 % CI half-width of a chosen metric drops under a target (or a
+//! replicate cap is hit), and because every replicate is persisted, later
+//! invocations reuse the store instead of re-simulating.
 
 use caem::policy::PolicyKind;
 use caem_simcore::stats::RunningStats;
@@ -23,6 +37,7 @@ use rayon::prelude::*;
 use serde_json::{json, Value};
 
 use crate::config::ScenarioConfig;
+use crate::persist::{config_hash, ExperimentStore, JobRecord};
 use crate::result::SimulationResult;
 use crate::runner::SimulationRun;
 use crate::sweep::PAPER_POLICIES;
@@ -120,9 +135,35 @@ impl ExperimentSpec {
         jobs
     }
 
+    /// The position of a job's policy in this spec's policy list.
+    fn policy_index(&self, job: &ExperimentJob) -> usize {
+        self.policies
+            .iter()
+            .position(|&p| p == job.policy)
+            .expect("every enumerated job carries a policy from the spec")
+    }
+
+    /// Job identity (scenario, policy, seed) is only well defined when the
+    /// axes hold no duplicates; the persisted-store paths key on it.
+    fn assert_distinct_axes(&self) {
+        for (i, &p) in self.policies.iter().enumerate() {
+            assert!(
+                !self.policies[..i].contains(&p),
+                "duplicate policy {p:?} in experiment spec"
+            );
+        }
+        for (i, &s) in self.seeds.iter().enumerate() {
+            assert!(
+                !self.seeds[..i].contains(&s),
+                "duplicate seed {s} in experiment spec"
+            );
+        }
+    }
+
     /// Run the whole grid (one flat parallel layer) and aggregate every
     /// cell's replicates into mean ± 95 % CI summaries.
     pub fn run(&self) -> ExperimentReport {
+        self.assert_distinct_axes();
         let jobs = self.enumerate_jobs();
         // The grid's single parallel layer: one flat fan-out over the job
         // list (the same shape as `run_configs`, fanning over the jobs
@@ -131,29 +172,200 @@ impl ExperimentSpec {
             .par_iter()
             .map(|job| SimulationRun::new(job.config.clone()).run())
             .collect();
-
-        let mut cells: Vec<ExperimentCell> = Vec::new();
-        for (job, result) in jobs.iter().zip(&results) {
-            let replicate = replicate_metrics(result);
-            match cells
-                .iter_mut()
-                .find(|c| c.scenario_index == job.scenario && c.policy == job.policy)
-            {
-                Some(cell) => cell.absorb(&replicate),
-                None => cells.push(ExperimentCell::first(
-                    job.scenario,
+        let records: Vec<JobRecord> = jobs
+            .iter()
+            .zip(&results)
+            .map(|(job, result)| {
+                JobRecord::from_result(
                     &self.scenarios[job.scenario].label,
-                    job.policy,
-                    &replicate,
-                )),
+                    self.policy_index(job),
+                    job,
+                    result,
+                )
+            })
+            .collect();
+        self.report_from(records)
+    }
+
+    /// Run the grid **resumably**: jobs whose results are already in the
+    /// store (same coordinates, same config hash) are skipped, only the
+    /// remainder runs through the single parallel layer, and each fresh
+    /// result is streamed to the store as one JSONL record the moment it
+    /// completes — an interrupted grid loses at most the jobs in flight.
+    ///
+    /// The report is aggregated from the records in canonical order, so it
+    /// is bit-identical to what an uninterrupted [`ExperimentSpec::run`]
+    /// of the same grid produces, no matter how many resume cycles the
+    /// store went through.
+    pub fn run_with_store(&self, store: &mut ExperimentStore) -> ExperimentReport {
+        self.assert_distinct_axes();
+        let jobs = self.enumerate_jobs();
+        let mut records: Vec<Option<JobRecord>> = jobs
+            .iter()
+            .map(|job| {
+                store
+                    .get(
+                        (job.scenario, self.policy_index(job), job.seed),
+                        config_hash(&job.config),
+                        &self.scenarios[job.scenario].label,
+                    )
+                    .cloned()
+            })
+            .collect();
+        let pending: Vec<usize> = (0..jobs.len()).filter(|&i| records[i].is_none()).collect();
+        if !pending.is_empty() {
+            let sink = store.sink();
+            // The single parallel layer over the *missing* jobs only.
+            let fresh: Vec<(usize, JobRecord)> = pending
+                .par_iter()
+                .map(|&i| {
+                    let job = &jobs[i];
+                    let result = SimulationRun::new(job.config.clone()).run();
+                    let record = JobRecord::from_result(
+                        &self.scenarios[job.scenario].label,
+                        self.policy_index(job),
+                        job,
+                        &result,
+                    );
+                    sink.append(&record)
+                        .expect("experiment store append failed");
+                    (i, record)
+                })
+                .collect();
+            for (i, record) in fresh {
+                store.note_record(record.clone());
+                records[i] = Some(record);
             }
         }
-        ExperimentReport {
-            seeds: self.seeds.clone(),
-            job_count: jobs.len(),
-            cells,
+        let records = records
+            .into_iter()
+            .map(|r| r.expect("every job resolved from store or simulation"));
+        self.report_from(records)
+    }
+
+    /// Aggregate records through the canonical path, stamping the report
+    /// with this spec's seed list (authoritative over the records' own).
+    fn report_from<I: IntoIterator<Item = JobRecord>>(&self, records: I) -> ExperimentReport {
+        let mut report = ExperimentReport::from_records(records);
+        report.seeds = self.seeds.clone();
+        report
+    }
+
+    /// Run the grid with CI-driven **sequential stopping**: starting from
+    /// this spec's seed list, keep appending batches of `stop.batch` fresh
+    /// replicates (consecutive seeds, shared across every cell to preserve
+    /// the common-random-numbers pairing) until the worst-cell 95 % CI
+    /// half-width of `stop.metric` drops to `stop.target_half_width` or the
+    /// per-cell replicate count reaches `stop.max_replicates`.
+    ///
+    /// Every replicate is persisted through `store`, so an interrupted or
+    /// re-invoked sequential run resumes from the replicates already on
+    /// disk instead of re-simulating them.
+    pub fn run_sequential(
+        &self,
+        store: &mut ExperimentStore,
+        stop: &SequentialStopping,
+    ) -> SequentialOutcome {
+        stop.validate();
+        assert!(
+            !self.seeds.is_empty(),
+            "sequential stopping needs a non-empty initial seed batch"
+        );
+        assert!(
+            stop.max_replicates >= self.seeds.len(),
+            "replicate cap {} is below the initial batch of {} seeds — the cap could never be honoured",
+            stop.max_replicates,
+            self.seeds.len()
+        );
+        let mut spec = self.clone();
+        let mut rounds = Vec::new();
+        loop {
+            let report = spec.run_with_store(store);
+            let worst_half_width = report
+                .cells
+                .iter()
+                .map(|cell| {
+                    let stats = cell.metric(&stop.metric).expect("validated metric name");
+                    if stats.count() < 2 {
+                        // One replicate carries no dispersion information:
+                        // never declare convergence on it.
+                        f64::INFINITY
+                    } else {
+                        stats.ci95_half_width()
+                    }
+                })
+                .fold(0.0, f64::max);
+            rounds.push(SequentialRound {
+                replicates: spec.seeds.len(),
+                worst_half_width,
+            });
+            let converged = worst_half_width <= stop.target_half_width;
+            if converged || spec.seeds.len() >= stop.max_replicates {
+                return SequentialOutcome {
+                    report,
+                    rounds,
+                    converged,
+                };
+            }
+            let next = spec.seeds.iter().copied().max().expect("non-empty seeds") + 1;
+            let add = stop.batch.min(stop.max_replicates - spec.seeds.len()) as u64;
+            spec.seeds.extend((0..add).map(|i| next + i));
         }
     }
+}
+
+/// Configuration of a CI-driven sequential-stopping loop.
+#[derive(Debug, Clone)]
+pub struct SequentialStopping {
+    /// The metric (a [`METRIC_NAMES`] entry) whose CI drives the loop.
+    pub metric: String,
+    /// Stop once every cell's 95 % CI half-width is at or below this.
+    pub target_half_width: f64,
+    /// Fresh replicates appended per round.
+    pub batch: usize,
+    /// Hard cap on replicates per cell (the loop always terminates).
+    pub max_replicates: usize,
+}
+
+impl SequentialStopping {
+    fn validate(&self) {
+        assert!(
+            METRIC_NAMES.contains(&self.metric.as_str()),
+            "unknown sequential-stopping metric `{}` (expected one of {METRIC_NAMES:?})",
+            self.metric
+        );
+        assert!(self.batch >= 1, "batch must add at least one replicate");
+        assert!(
+            self.target_half_width >= 0.0,
+            "target half-width must be non-negative"
+        );
+        assert!(
+            self.max_replicates >= 1,
+            "replicate cap must be at least one"
+        );
+    }
+}
+
+/// One round of a sequential-stopping loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialRound {
+    /// Replicates per cell after this round.
+    pub replicates: usize,
+    /// The worst (largest) per-cell CI half-width of the chosen metric;
+    /// infinite while any cell has fewer than two usable replicates.
+    pub worst_half_width: f64,
+}
+
+/// What a sequential-stopping run produced.
+#[derive(Debug, Clone)]
+pub struct SequentialOutcome {
+    /// The final aggregated report.
+    pub report: ExperimentReport,
+    /// Per-round trace of replicate counts and worst half-widths.
+    pub rounds: Vec<SequentialRound>,
+    /// True when the target was met; false when the replicate cap stopped
+    /// the loop first.
+    pub converged: bool,
 }
 
 /// The metrics summarised per cell, in report order.
@@ -172,7 +384,7 @@ pub const METRIC_NAMES: [&str; 8] = [
 /// `mj_per_delivered_packet` is NaN when the replicate delivered nothing;
 /// [`ExperimentCell::absorb`] drops non-finite values so one starved
 /// replicate cannot poison a cell's mean/CI.
-fn replicate_metrics(r: &SimulationResult) -> [f64; METRIC_NAMES.len()] {
+pub(crate) fn replicate_metrics(r: &SimulationResult) -> [f64; METRIC_NAMES.len()] {
     [
         r.delivery_rate(),
         r.perf.average_delay_ms(),
@@ -188,7 +400,11 @@ fn replicate_metrics(r: &SimulationResult) -> [f64; METRIC_NAMES.len()] {
 }
 
 /// The aggregated replicates of one (scenario, policy) cell.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the Welford accumulators field-exactly, so
+/// `assert_eq!` on two cells (or whole reports) is the "bit-identical"
+/// check the persistence layer's resume/replay guarantees are stated in.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentCell {
     /// Index into the spec's scenario list.
     pub scenario_index: usize,
@@ -242,7 +458,7 @@ impl ExperimentCell {
 }
 
 /// Everything an experiment grid run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// The seed replicates every cell was run with.
     pub seeds: Vec<u64>,
@@ -253,6 +469,45 @@ pub struct ExperimentReport {
 }
 
 impl ExperimentReport {
+    /// Aggregate persisted job records into a report — the **single**
+    /// aggregation path every run mode shares.
+    ///
+    /// Records are deduplicated by job key (last record wins, matching the
+    /// store's append-order semantics — an [`crate::persist::ExperimentStore`]
+    /// hands over already-deduplicated records, in which case this pass is a
+    /// no-op) and folded in the canonical (scenario index, policy index,
+    /// seed) order, so the result does not depend on completion interleaving
+    /// or on how many resume cycles wrote the store.  `seeds` is the sorted
+    /// set of distinct seeds observed; [`ExperimentSpec`]-driven runs
+    /// overwrite it with the spec's own list.
+    pub fn from_records<I: IntoIterator<Item = JobRecord>>(records: I) -> Self {
+        let mut deduped = crate::persist::dedupe_last_wins(records);
+        deduped.sort_by_key(JobRecord::key);
+        let mut cells: Vec<ExperimentCell> = Vec::new();
+        for record in &deduped {
+            let replicate = record.metric_array();
+            match cells
+                .iter_mut()
+                .find(|c| c.scenario_index == record.scenario_index && c.policy == record.policy)
+            {
+                Some(cell) => cell.absorb(&replicate),
+                None => cells.push(ExperimentCell::first(
+                    record.scenario_index,
+                    &record.scenario,
+                    record.policy,
+                    &replicate,
+                )),
+            }
+        }
+        let mut seeds: Vec<u64> = deduped.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        ExperimentReport {
+            seeds,
+            job_count: deduped.len(),
+            cells,
+        }
+    }
     /// The cell for a given scenario label and policy.
     pub fn cell(&self, scenario: &str, policy: PolicyKind) -> Option<&ExperimentCell> {
         self.cells

@@ -20,6 +20,12 @@
 //!    [`experiment`] generalises them: any (scenario × policy × seed) grid is
 //!    enumerated into one flat job list, fanned out in a single parallel
 //!    layer, and aggregated into mean ± 95 % CI summaries per cell.
+//! 5. [`persist`] makes grids durable: completed jobs stream to a JSONL
+//!    [`persist::ExperimentStore`], interrupted grids resume with
+//!    [`experiment::ExperimentSpec::run_with_store`] (bit-identical reports),
+//!    historical stores re-aggregate offline, and
+//!    [`experiment::ExperimentSpec::run_sequential`] adds replicates per cell
+//!    until a CI-half-width target is met.
 //!
 //! Scenario diversity beyond the paper's single uniform deployment lives in
 //! [`config::Topology`] (grid / Gaussian hotspots / corridor layouts),
@@ -45,6 +51,7 @@ pub mod config;
 pub mod events;
 pub mod experiment;
 pub mod node;
+pub mod persist;
 pub mod result;
 pub mod runner;
 pub mod sweep;
@@ -52,7 +59,9 @@ pub mod sweep;
 pub use config::{ChurnConfig, ScenarioConfig, Topology, TrafficModel};
 pub use experiment::{
     run_configs, ExperimentCell, ExperimentJob, ExperimentReport, ExperimentSpec, ScenarioSpec,
+    SequentialOutcome, SequentialRound, SequentialStopping,
 };
+pub use persist::{config_hash, ExperimentStore, JobRecord, StoreError};
 pub use result::{NodeSummary, SimulationResult};
 pub use runner::SimulationRun;
-pub use sweep::{compare_policies, load_sweep, LoadSweepPoint, PolicyComparison};
+pub use sweep::{compare_policies, load_sweep, load_sweep_spec, LoadSweepPoint, PolicyComparison};

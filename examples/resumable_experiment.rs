@@ -1,0 +1,131 @@
+//! Persistent, resumable experiment grids end to end: run a grid into a
+//! JSONL store, "crash" it by tearing the store mid-record, resume it, and
+//! show that the resumed and offline-re-aggregated reports are bit-identical
+//! to the uninterrupted run — then let CI-driven sequential stopping decide
+//! the replicate count instead of guessing it up front.
+//!
+//! ```bash
+//! cargo run --release --example resumable_experiment
+//! ```
+
+use caem_suite::caem::policy::PolicyKind;
+use caem_suite::simcore::time::Duration;
+use caem_suite::wsnsim::experiment::{ExperimentSpec, ScenarioSpec, SequentialStopping};
+use caem_suite::wsnsim::persist::ExperimentStore;
+use caem_suite::wsnsim::{ScenarioConfig, Topology};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("caem_resumable_demo_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create demo dir");
+    let store_path = dir.join("grid.jsonl");
+
+    let base =
+        ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 0).with_duration(Duration::from_secs(20));
+    let spec = ExperimentSpec::paper_policies(
+        vec![
+            ScenarioSpec::new("uniform", base.clone()),
+            ScenarioSpec::new(
+                "hotspots",
+                base.with_topology(Topology::GaussianClusters {
+                    clusters: 3,
+                    sigma_m: 12.0,
+                }),
+            ),
+        ],
+        4_100,
+        4,
+    );
+
+    // 1. The uninterrupted run, streaming every job to the store.
+    let mut store = ExperimentStore::open(&store_path).expect("open store");
+    let clean = spec.run_with_store(&mut store);
+    println!(
+        "clean run: {} jobs simulated into {}",
+        store.len(),
+        store_path.display()
+    );
+    drop(store);
+    let clean_json = serde_json::to_string(&clean.to_json()).expect("report serializes");
+
+    // 2. Simulate a crash: drop the last three records and tear a fourth
+    //    mid-line, exactly what an interrupted `write_all` leaves behind.
+    let text = std::fs::read_to_string(&store_path).expect("read store");
+    let lines: Vec<&str> = text.lines().collect();
+    let mut torn = lines[..lines.len() - 3].join("\n");
+    torn.push_str("\n{\"scenario_index\":1,\"scenario\":\"hot");
+    std::fs::write(&store_path, torn).expect("write torn store");
+
+    // 3. Resume: the loader skips the torn line with a warning, the engine
+    //    re-runs only the missing jobs, and the report comes out identical.
+    let mut store = ExperimentStore::open(&store_path).expect("re-open store");
+    println!(
+        "after the crash: {} of {} jobs on disk ({} torn line skipped)",
+        store.len(),
+        spec.job_count(),
+        store.skipped_lines()
+    );
+    let before = store.len();
+    let resumed = spec.run_with_store(&mut store);
+    println!(
+        "resume re-ran {} jobs, reused {}",
+        store.len() - before,
+        before
+    );
+    let resumed_json = serde_json::to_string(&resumed.to_json()).expect("report serializes");
+    assert_eq!(
+        clean_json, resumed_json,
+        "resumed report must be bit-identical to the uninterrupted run"
+    );
+    println!("resumed report is bit-identical to the clean run");
+
+    // 4. Offline re-aggregation: the report rebuilt from JSONL alone.
+    let offline = ExperimentStore::load(&store_path)
+        .expect("load store")
+        .rebuild_report();
+    assert_eq!(
+        serde_json::to_string(&offline.to_json()).expect("report serializes"),
+        clean_json,
+        "offline re-aggregation must match the in-memory report"
+    );
+    println!("offline re-aggregation from JSONL matches too");
+
+    // 5. Sequential stopping: instead of fixing the replicate count, add
+    //    batches until the delivery-rate CI is tight enough (or a cap hits).
+    let seq_store_path = dir.join("sequential.jsonl");
+    let mut seq_store = ExperimentStore::open(&seq_store_path).expect("open store");
+    let stop = SequentialStopping {
+        metric: "delivery_rate".to_string(),
+        target_half_width: 0.02,
+        batch: 2,
+        max_replicates: 10,
+    };
+    let outcome = spec.run_sequential(&mut seq_store, &stop);
+    println!(
+        "\nsequential stopping on delivery_rate (target +/- {}):",
+        stop.target_half_width
+    );
+    for (i, round) in outcome.rounds.iter().enumerate() {
+        println!(
+            "  round {}: {} replicates/cell, worst 95% CI half-width {:.4}",
+            i + 1,
+            round.replicates,
+            round.worst_half_width
+        );
+    }
+    println!(
+        "{} with {} replicates/cell ({} jobs persisted for future reuse)",
+        if outcome.converged {
+            "converged"
+        } else {
+            "cap reached"
+        },
+        outcome
+            .rounds
+            .last()
+            .expect("ran at least one round")
+            .replicates,
+        seq_store.len()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,6 +5,14 @@
 //! `json!` literals in the figure binaries.  Numbers are emitted with Rust's
 //! shortest round-trip float formatting so `f64` fields survive a
 //! serialize/deserialize cycle bit-exactly.
+//!
+//! Serialization is writer-side streaming: the core emitter targets any
+//! [`std::io::Write`] sink ([`to_writer`] / [`to_writer_pretty`]), so callers
+//! like the experiment persistence layer can stream one JSONL record at a
+//! time without building intermediate `String`s; [`to_string`] and
+//! [`to_string_pretty`] are thin wrappers over an in-memory buffer.
+
+use std::io::{self, Write};
 
 pub use serde::Value;
 
@@ -34,16 +42,35 @@ impl From<serde::DeError> for Error {
 
 /// Serialize a value to compact JSON text.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0);
-    Ok(out)
+    let mut out = Vec::new();
+    write_value(&mut out, &value.to_value(), None, 0).expect("Vec<u8> writes are infallible");
+    Ok(String::from_utf8(out).expect("the emitter only writes UTF-8"))
 }
 
 /// Serialize a value to human-readable, indented JSON text.
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(2), 0);
-    Ok(out)
+    let mut out = Vec::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0).expect("Vec<u8> writes are infallible");
+    Ok(String::from_utf8(out).expect("the emitter only writes UTF-8"))
+}
+
+/// Stream a value as compact JSON directly into an [`io::Write`] sink,
+/// without building the full text in memory first.
+pub fn to_writer<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    write_value(&mut writer, &value.to_value(), None, 0)
+        .map_err(|e| Error::msg(format!("write failed: {e}")))
+}
+
+/// Stream a value as indented JSON directly into an [`io::Write`] sink.
+pub fn to_writer_pretty<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    write_value(&mut writer, &value.to_value(), Some(2), 0)
+        .map_err(|e| Error::msg(format!("write failed: {e}")))
 }
 
 /// Serialize a value into a [`Value`] tree.
@@ -62,90 +89,96 @@ pub fn from_value<T: serde::DeserializeOwned>(value: Value) -> Result<T, Error> 
     T::from_value(&value).map_err(Error::from)
 }
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
+fn write_escaped<W: Write>(out: &mut W, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                write!(out, "\\u{:04x}", c as u32)?;
             }
-            c => out.push(c),
+            c => {
+                let mut buf = [0u8; 4];
+                out.write_all(c.encode_utf8(&mut buf).as_bytes())?;
+            }
         }
     }
-    out.push('"');
+    out.write_all(b"\"")
 }
 
-fn write_float(out: &mut String, f: f64) {
+fn write_float<W: Write>(out: &mut W, f: f64) -> io::Result<()> {
     if f.is_finite() {
         // `{:?}` is Rust's shortest round-trip representation.
-        let s = format!("{f:?}");
-        out.push_str(&s);
+        write!(out, "{f:?}")
     } else {
         // JSON has no NaN/Infinity; follow serde_json and emit null.
-        out.push_str("null");
+        out.write_all(b"null")
     }
 }
 
-fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+fn write_value<W: Write>(
+    out: &mut W,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> io::Result<()> {
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Null => out.write_all(b"null"),
+        Value::Bool(b) => out.write_all(if *b { b"true" } else { b"false" }),
+        Value::Int(i) => write!(out, "{i}"),
+        Value::UInt(u) => write!(out, "{u}"),
         Value::Float(f) => write_float(out, *f),
         Value::Str(s) => write_escaped(out, s),
         Value::Seq(items) => {
             if items.is_empty() {
-                out.push_str("[]");
-                return;
+                return out.write_all(b"[]");
             }
-            out.push('[');
+            out.write_all(b"[")?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",")?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_value(out, item, indent, depth + 1);
+                newline_indent(out, indent, depth + 1)?;
+                write_value(out, item, indent, depth + 1)?;
             }
-            newline_indent(out, indent, depth);
-            out.push(']');
+            newline_indent(out, indent, depth)?;
+            out.write_all(b"]")
         }
         Value::Map(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
-                return;
+                return out.write_all(b"{}");
             }
-            out.push('{');
+            out.write_all(b"{")?;
             for (i, (key, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",")?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_escaped(out, key);
-                out.push(':');
+                newline_indent(out, indent, depth + 1)?;
+                write_escaped(out, key)?;
+                out.write_all(b":")?;
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_all(b" ")?;
                 }
-                write_value(out, item, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
             }
-            newline_indent(out, indent, depth);
-            out.push('}');
+            newline_indent(out, indent, depth)?;
+            out.write_all(b"}")
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<W: Write>(out: &mut W, indent: Option<usize>, depth: usize) -> io::Result<()> {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_all(b"\n")?;
         for _ in 0..width * depth {
-            out.push(' ');
+            out.write_all(b" ")?;
         }
     }
+    Ok(())
 }
 
 struct Parser<'a> {
@@ -441,6 +474,38 @@ mod tests {
             v.get("nested").unwrap().get("ok"),
             Some(Value::Bool(true))
         ));
+    }
+
+    #[test]
+    fn to_writer_streams_the_same_bytes_as_to_string() {
+        let v = json!({
+            "label": "uniform \"q\"\n",
+            "seed": 42u64,
+            "metrics": json!([1.25f64, json!(null), -0.5f64]),
+        });
+        let mut streamed = Vec::new();
+        to_writer(&mut streamed, &v).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), to_string(&v).unwrap());
+        let mut pretty = Vec::new();
+        to_writer_pretty(&mut pretty, &v).unwrap();
+        assert_eq!(
+            String::from_utf8(pretty).unwrap(),
+            to_string_pretty(&v).unwrap()
+        );
+    }
+
+    #[test]
+    fn to_writer_propagates_io_errors() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(to_writer(Failing, &1.5f64).is_err());
     }
 
     #[test]
