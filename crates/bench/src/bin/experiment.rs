@@ -6,7 +6,7 @@
 //! single-seed point estimate on one uniform deployment, each (scenario,
 //! policy) cell aggregates independent replicates over diverse deployments
 //! (uniform / grid / Gaussian hotspots / corridor), heterogeneous initial
-//! batteries and random node churn.
+//! batteries, random node churn and diurnal traffic cycles.
 //!
 //! Every completed job streams to a per-grid JSONL store, so grids are
 //! durable: `--resume` skips the jobs already on disk (an interrupted run
@@ -16,26 +16,69 @@
 //! the worst-cell 95 % CI half-width of `--ci-metric` (default
 //! `delivery_rate`) drops under the target or `--max-replicates` is hit.
 //!
+//! `--workers N` runs the same grid **distributed**: the coordinator writes
+//! the job list as claimable shards under `--distrib-dir` (or the default
+//! `BENCH_experiment_distrib[_quick]/`), re-invokes this binary `N` times in
+//! `--worker-shard` mode with an equal share of the process thread budget
+//! each, and merges all per-worker JSONL shards into a report byte-identical
+//! to the single-process run — including after killing workers (their shards
+//! are stolen) or the coordinator itself (re-run with `--resume --workers N`
+//! to pick the grid back up).
+//!
 //! ```bash
 //! cargo run -p caem-bench --release --bin experiment
 //! cargo run -p caem-bench --release --bin experiment -- --quick      # smoke run
 //! cargo run -p caem-bench --release --bin experiment -- --quick --resume
 //! cargo run -p caem-bench --release --bin experiment -- --quick --reaggregate
 //! cargo run -p caem-bench --release --bin experiment -- --target-ci 0.01
+//! cargo run -p caem-bench --release --bin experiment -- --quick --workers 3
 //! ```
 //!
 //! The full grid is written as JSON to `BENCH_experiment.json` at the
 //! repository root and its JSONL store to `BENCH_experiment_store.jsonl`
 //! (`_quick` variants, gitignored, for `--quick` runs).
 
+use std::path::PathBuf;
+
 use caem::policy::PolicyKind;
-use caem_bench::{apply_quick, flag_value, has_flag, policy_label, quick_mode, seed_from_args};
+use caem_bench::{
+    apply_quick, first_flag_violation, flag_value, has_flag, policy_label, quick_mode,
+    seed_from_args,
+};
 use caem_simcore::time::Duration;
+use caem_wsnsim::distrib::{
+    run_sequential_distributed, run_worker, DistribOptions, ProcessSpawner, WorkerConfig,
+};
 use caem_wsnsim::experiment::{
-    ExperimentReport, ExperimentSpec, ScenarioSpec, SequentialStopping, METRIC_NAMES,
+    ExperimentReport, ExperimentSpec, ScenarioSpec, SequentialOutcome, SequentialStopping,
+    METRIC_NAMES,
 };
 use caem_wsnsim::persist::ExperimentStore;
 use caem_wsnsim::{ScenarioConfig, Topology};
+
+/// Flag pairs that contradict each other: acting on one would silently
+/// ignore the other, so the binary refuses the combination up front.
+const FLAG_CONFLICTS: &[(&str, &str)] = &[
+    ("--reaggregate", "--workers"),
+    ("--reaggregate", "--resume"),
+    ("--reaggregate", "--target-ci"),
+    ("--worker-shard", "--workers"),
+    ("--worker-shard", "--reaggregate"),
+    ("--worker-shard", "--resume"),
+    ("--worker-shard", "--target-ci"),
+    // Distributed records live in the shard directory's per-worker stores,
+    // never in the single-process store file.
+    ("--workers", "--store"),
+];
+
+/// Flags that are meaningless (and previously silently ignored) without
+/// their dependency.
+const FLAG_REQUIRES: &[(&str, &str)] = &[
+    ("--worker-shard", "--store"),
+    ("--distrib-dir", "--workers"),
+    ("--ci-metric", "--target-ci"),
+    ("--max-replicates", "--target-ci"),
+];
 
 fn scenarios(seed: u64, quick: bool) -> Vec<ScenarioSpec> {
     let horizon = Duration::from_secs(if quick { 120 } else { 400 });
@@ -70,6 +113,12 @@ fn scenarios(seed: u64, quick: bool) -> Vec<ScenarioSpec> {
             base(5.0)
                 .with_energy_spread(0.4)
                 .with_churn_mttf_s(if quick { 1_200.0 } else { 4_000.0 }),
+        ),
+        // Time-varying load: two day/night cycles over the horizon, rate
+        // swinging between 0.2x and 1.8x the 10 pkt/s mean.
+        ScenarioSpec::new(
+            "diurnal_10pps",
+            base(10.0).with_diurnal_traffic(if quick { 60.0 } else { 200.0 }, 0.8),
         ),
     ]
 }
@@ -116,16 +165,105 @@ fn write_report(report: &ExperimentReport, out_path: &str) {
     }
 }
 
+/// Per-round trace and convergence verdict of a sequential-stopping run.
+fn print_sequential_outcome(outcome: &SequentialOutcome, metric: &str) {
+    for (i, round) in outcome.rounds.iter().enumerate() {
+        println!(
+            "  round {}: {} replicates/cell, worst half-width {:.6}",
+            i + 1,
+            round.replicates,
+            round.worst_half_width
+        );
+    }
+    // The scale-free readout next to the absolute target: how tight the
+    // worst cell is relative to its mean.  `None` (a cell with too few
+    // usable replicates or a zero mean) must surface as "n/a", not as a
+    // fold identity masquerading as perfect precision.
+    let worst_relative = outcome
+        .report
+        .cells
+        .iter()
+        .map(|cell| {
+            cell.metric(metric)
+                .and_then(|s| s.ci95_relative_half_width())
+        })
+        .try_fold(0.0f64, |acc, rel| rel.map(|r| acc.max(r)));
+    println!(
+        "{} after {} replicates/cell (worst relative precision {})",
+        if outcome.converged {
+            "converged"
+        } else {
+            "replicate cap reached"
+        },
+        outcome
+            .rounds
+            .last()
+            .expect("at least one round")
+            .replicates,
+        match worst_relative {
+            Some(rel) => format!("+/- {:.2}%", rel * 100.0),
+            None => "undefined for at least one cell".to_string(),
+        }
+    );
+}
+
+fn die(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// `--worker-shard <dir>`: participate in a distributed grid until no shard
+/// is claimable, then exit.  Fully manifest-driven: the grid's scenarios,
+/// seeds and configs come from the shard directory, not from this process's
+/// other flags.
+fn worker_mode(dir: String) -> ! {
+    let store = flag_value("--store").expect("--worker-shard requires --store (validated above)");
+    let cfg = WorkerConfig::new(&dir, &store, format!("pid_{}", std::process::id()));
+    match run_worker(&cfg) {
+        Ok(outcome) => {
+            println!(
+                "worker {}: {} shards completed, {} jobs simulated, {} reused from {store}",
+                std::process::id(),
+                outcome.shards_completed,
+                outcome.jobs_run,
+                outcome.jobs_reused,
+            );
+            std::process::exit(0);
+        }
+        Err(e) => die(format!("worker on {dir} failed: {e}")),
+    }
+}
+
 fn main() {
+    if let Some(message) = first_flag_violation(&|f| has_flag(f), FLAG_CONFLICTS, FLAG_REQUIRES) {
+        die(message);
+    }
+    for flag in ["--workers", "--worker-shard", "--distrib-dir"] {
+        if has_flag(flag) && flag_value(flag).is_none() {
+            die(format!("{flag} requires a value"));
+        }
+    }
+    if let Some(dir) = flag_value("--worker-shard") {
+        worker_mode(dir);
+    }
+    let workers: Option<usize> = flag_value("--workers").map(|v| match v.parse() {
+        Ok(n) if n >= 1 => n,
+        _ => die(format!("--workers takes an integer >= 1 (got {v})")),
+    });
+
     let seed = seed_from_args();
     let quick = quick_mode();
     let replicates = if quick { 5 } else { 10 };
 
-    let (default_store, out_path) = if quick {
+    let (default_store, default_distrib_dir, out_path) = if quick {
         (
             concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/../../BENCH_experiment_store_quick.jsonl"
+            ),
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_experiment_distrib_quick"
             ),
             concat!(
                 env!("CARGO_MANIFEST_DIR"),
@@ -137,6 +275,10 @@ fn main() {
             concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/../../BENCH_experiment_store.jsonl"
+            ),
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_experiment_distrib"
             ),
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiment.json"),
         )
@@ -168,6 +310,71 @@ fn main() {
             .parse::<f64>()
             .expect("--target-ci takes a number")
     });
+    let stop_for = |target: f64| {
+        let metric = flag_value("--ci-metric").unwrap_or_else(|| "delivery_rate".to_string());
+        let max_replicates = flag_value("--max-replicates")
+            .map(|v| v.parse().expect("--max-replicates takes an integer"))
+            .unwrap_or(if quick { 12 } else { 30 });
+        let stop = SequentialStopping {
+            metric,
+            target_half_width: target,
+            batch: replicates,
+            max_replicates,
+        };
+        println!(
+            "sequential stopping on `{}`: target 95% CI half-width {target}, batches of {}, cap {} replicates",
+            stop.metric, stop.batch, stop.max_replicates
+        );
+        stop
+    };
+
+    if let Some(n) = workers {
+        // Distributed path: shard the grid on disk, spawn N copies of this
+        // binary in --worker-shard mode, merge their JSONL shards.  Records
+        // live under the shard directory, not in the single-process store.
+        let custom_dir = flag_value("--distrib-dir");
+        let dir = PathBuf::from(
+            custom_dir
+                .clone()
+                .unwrap_or_else(|| default_distrib_dir.to_string()),
+        );
+        let opts = DistribOptions {
+            // Mirror the store semantics: a plain fixed-replicate run starts
+            // the *default* shard directory afresh.  Never wiped: --resume,
+            // an explicitly passed directory, and sequential-stopping runs
+            // (--target-ci exists to grow the persisted replicate pool, so a
+            // re-invocation must reuse the completed rounds).
+            fresh: !has_flag("--resume") && custom_dir.is_none() && !sequential,
+            ..DistribOptions::new(n)
+        };
+        let spawner = ProcessSpawner::current_exe(Vec::new())
+            .unwrap_or_else(|e| die(format!("cannot locate worker binary: {e}")));
+        println!(
+            "distributed experiment grid: {} scenarios x {} policies x {} seeds = {} jobs across {n} workers ({} rayon threads each), shard dir {}",
+            spec.scenarios.len(),
+            spec.policies.len(),
+            spec.seeds.len(),
+            spec.job_count(),
+            rayon::split_thread_budget(n),
+            dir.display(),
+        );
+        let report = match target_ci {
+            Some(target) => {
+                let stop = stop_for(target);
+                let outcome = run_sequential_distributed(&spec, &dir, &opts, &spawner, &stop)
+                    .unwrap_or_else(|e| die(format!("distributed sequential run failed: {e}")));
+                print_sequential_outcome(&outcome, &stop.metric);
+                outcome.report
+            }
+            None => spec
+                .run_distributed(&dir, &opts, &spawner)
+                .unwrap_or_else(|e| die(format!("distributed run failed: {e}"))),
+        };
+        print_summary(&spec, &report);
+        write_report(&report, out_path);
+        return;
+    }
+
     let custom_store = flag_value("--store").is_some();
     if !has_flag("--resume") && !sequential && !custom_store {
         // A plain fixed-replicate run starts a fresh copy of the binary's
@@ -190,59 +397,9 @@ fn main() {
     );
 
     let report = if let Some(target) = target_ci {
-        let metric = flag_value("--ci-metric").unwrap_or_else(|| "delivery_rate".to_string());
-        let max_replicates = flag_value("--max-replicates")
-            .map(|v| v.parse().expect("--max-replicates takes an integer"))
-            .unwrap_or(if quick { 12 } else { 30 });
-        let stop = SequentialStopping {
-            metric: metric.clone(),
-            target_half_width: target,
-            batch: replicates,
-            max_replicates,
-        };
-        println!(
-            "sequential stopping on `{metric}`: target 95% CI half-width {target}, batches of {}, cap {max_replicates} replicates",
-            stop.batch
-        );
+        let stop = stop_for(target);
         let outcome = spec.run_sequential(&mut store, &stop);
-        for (i, round) in outcome.rounds.iter().enumerate() {
-            println!(
-                "  round {}: {} replicates/cell, worst half-width {:.6}",
-                i + 1,
-                round.replicates,
-                round.worst_half_width
-            );
-        }
-        // The scale-free readout next to the absolute target: how tight the
-        // worst cell is relative to its mean.  `None` (a cell with too few
-        // usable replicates or a zero mean) must surface as "n/a", not as a
-        // fold identity masquerading as perfect precision.
-        let worst_relative = outcome
-            .report
-            .cells
-            .iter()
-            .map(|cell| {
-                cell.metric(&metric)
-                    .and_then(|s| s.ci95_relative_half_width())
-            })
-            .try_fold(0.0f64, |acc, rel| rel.map(|r| acc.max(r)));
-        println!(
-            "{} after {} replicates/cell (worst relative precision {})",
-            if outcome.converged {
-                "converged"
-            } else {
-                "replicate cap reached"
-            },
-            outcome
-                .rounds
-                .last()
-                .expect("at least one round")
-                .replicates,
-            match worst_relative {
-                Some(rel) => format!("+/- {:.2}%", rel * 100.0),
-                None => "undefined for at least one cell".to_string(),
-            }
-        );
+        print_sequential_outcome(&outcome, &stop.metric);
         outcome.report
     } else {
         spec.run_with_store(&mut store)

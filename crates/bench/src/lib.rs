@@ -70,6 +70,37 @@ pub fn flag_value(name: &str) -> Option<String> {
     None
 }
 
+/// The first violated flag rule, as a ready-to-print error message, or
+/// `None` when the combination is coherent.
+///
+/// * `conflicts` — pairs that must not appear together (checked both ways).
+/// * `requires` — `(flag, dependency)` pairs: `flag` is rejected unless its
+///   `dependency` is also present.
+///
+/// `present` reports whether a flag was given; pure so binaries can feed it
+/// from `has_flag` while tests feed it from a fixture.  Binaries call this
+/// **before** acting on any flag, so a contradictory command line fails
+/// loudly instead of silently ignoring one of the flags.
+pub fn first_flag_violation(
+    present: &dyn Fn(&str) -> bool,
+    conflicts: &[(&str, &str)],
+    requires: &[(&str, &str)],
+) -> Option<String> {
+    for &(a, b) in conflicts {
+        if present(a) && present(b) {
+            return Some(format!(
+                "{a} and {b} contradict each other; pass one or the other"
+            ));
+        }
+    }
+    for &(flag, dependency) in requires {
+        if present(flag) && !present(dependency) {
+            return Some(format!("{flag} requires {dependency}"));
+        }
+    }
+    None
+}
+
 /// Parse an optional `--quick` flag: figure binaries then run a reduced
 /// scenario (fewer nodes, shorter horizon) so smoke tests stay fast.
 pub fn quick_mode() -> bool {
@@ -105,6 +136,44 @@ mod tests {
         ];
         let unique: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn flag_violations_are_detected_in_declaration_order() {
+        let conflicts = [
+            ("--reaggregate", "--workers"),
+            ("--worker-shard", "--workers"),
+        ];
+        let requires = [
+            ("--worker-shard", "--store"),
+            ("--distrib-dir", "--workers"),
+        ];
+        let given = |flags: &'static [&'static str]| move |name: &str| flags.contains(&name);
+        assert_eq!(
+            first_flag_violation(&given(&["--workers"]), &conflicts, &requires),
+            None
+        );
+        let msg = first_flag_violation(
+            &given(&["--reaggregate", "--workers"]),
+            &conflicts,
+            &requires,
+        )
+        .expect("conflict detected");
+        assert!(msg.contains("--reaggregate") && msg.contains("--workers"));
+        let msg = first_flag_violation(&given(&["--worker-shard"]), &conflicts, &requires)
+            .expect("missing dependency detected");
+        assert!(msg.contains("requires --store"));
+        assert_eq!(
+            first_flag_violation(
+                &given(&["--worker-shard", "--store"]),
+                &conflicts,
+                &requires
+            ),
+            None
+        );
+        let msg = first_flag_violation(&given(&["--distrib-dir"]), &conflicts, &requires)
+            .expect("dangling --distrib-dir detected");
+        assert!(msg.contains("requires --workers"));
     }
 
     #[test]

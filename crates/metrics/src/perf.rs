@@ -22,12 +22,29 @@ pub struct NetworkPerformance {
     horizon: SimTime,
 }
 
+/// The delay histogram's initial range: 0–10 s in milliseconds.
+const DELAY_HISTOGRAM_HI_MS: f64 = 10_000.0;
+
+/// How far the delay histogram may grow by doubling under saturation loads
+/// (to ~21 min of queueing delay).  Delays beyond this are treated as
+/// unbounded: they land in the overflow bin and quantiles there stay `None`.
+const DELAY_HISTOGRAM_MAX_HI_MS: f64 = DELAY_HISTOGRAM_HI_MS * 128.0;
+
 impl NetworkPerformance {
-    /// Create an empty accumulator.  The delay histogram spans 0–10 s.
+    /// Create an empty accumulator.  The delay histogram starts at 0–10 s
+    /// and auto-resizes (halving resolution per doubling) up to
+    /// [`DELAY_HISTOGRAM_MAX_HI_MS`], so p95/p99 stay reportable under
+    /// saturation instead of collapsing to `None` the moment the tail
+    /// crosses 10 s.
     pub fn new() -> Self {
         NetworkPerformance {
             delay_stats: RunningStats::new(),
-            delay_histogram: Histogram::new(0.0, 10_000.0, 200),
+            delay_histogram: Histogram::with_auto_resize(
+                0.0,
+                DELAY_HISTOGRAM_HI_MS,
+                200,
+                DELAY_HISTOGRAM_MAX_HI_MS,
+            ),
             generated: 0,
             delivered: 0,
             dropped_overflow: 0,
@@ -171,6 +188,24 @@ mod tests {
         assert!((median - 50.0).abs() < 51.0 * 0.1, "median {median}");
         let p95 = p.delay_quantile_ms(0.95).unwrap();
         assert!(p95 > 85.0);
+    }
+
+    #[test]
+    fn saturation_delays_beyond_ten_seconds_keep_quantiles_reportable() {
+        let mut p = NetworkPerformance::new();
+        // A saturated queue: every delivery took 30-90 s, far past the
+        // initial 10 s histogram range.
+        for s in 0..600u64 {
+            p.record_delivered(Duration::from_secs(30 + s / 10), 2_000);
+        }
+        let p99 = p
+            .delay_quantile_ms(0.99)
+            .expect("saturation p99 reportable");
+        assert!((88_000.0..92_000.0).contains(&p99), "p99 {p99}");
+        // Truly unbounded delays (beyond the growth cap) still answer None.
+        p.record_delivered(Duration::from_secs(100_000), 2_000);
+        assert_eq!(p.delay_quantile_ms(1.0), None);
+        assert!(p.delay_quantile_ms(0.5).is_some(), "the bulk stays known");
     }
 
     #[test]

@@ -359,7 +359,10 @@ impl TimeSeries {
     }
 }
 
-/// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+/// A fixed-count-bin histogram over `[lo, hi)` with overflow/underflow bins,
+/// optionally **auto-resizing**: recording a value at or beyond `hi` doubles
+/// the bin width (merging adjacent bin pairs; the bin count never changes)
+/// until the value fits or the range reaches a configured growth cap.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
@@ -371,13 +374,34 @@ pub struct Histogram {
     underflow: u64,
     overflow: u64,
     count: u64,
+    /// The largest `hi` the range may grow to by doubling; equal to `hi` for
+    /// a fixed-range histogram.
+    max_hi: f64,
 }
 
 impl Histogram {
-    /// Create a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    /// Create a fixed-range histogram with `bins` equal-width bins spanning
+    /// `[lo, hi)`.  Values at or beyond `hi` always land in the overflow bin.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        Self::with_auto_resize(lo, hi, bins, hi)
+    }
+
+    /// Create an auto-resizing histogram: when a value at or beyond the
+    /// current `hi` is recorded, the bin width doubles (adjacent bin pairs
+    /// merge, so the bin count and all already-recorded counts are preserved
+    /// exactly) until the value fits or doubling again would push `hi` past
+    /// `max_hi`.  Values beyond the cap still land in the overflow bin, so
+    /// the [`Histogram::quantile`] `None` contract survives for truly
+    /// unbounded observations while merely-saturated distributions stay
+    /// quantifiable (at coarser resolution).
+    ///
+    /// The final bin layout depends only on the multiset of recorded values,
+    /// not on their order: a value recorded before a doubling is merged into
+    /// exactly the bin it would have landed in afterwards.
+    pub fn with_auto_resize(lo: f64, hi: f64, bins: usize, max_hi: f64) -> Self {
         assert!(hi > lo, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
+        assert!(max_hi >= hi, "growth cap must be at or beyond the range");
         Histogram {
             lo,
             hi,
@@ -386,6 +410,32 @@ impl Histogram {
             underflow: 0,
             overflow: 0,
             count: 0,
+            max_hi,
+        }
+    }
+
+    /// Double the bin width (halving resolution) until `x < hi` or the next
+    /// doubling would exceed the growth cap.  Bin `k` of the widened layout
+    /// absorbs bins `2k` and `2k + 1` of the old one — exactly where a value
+    /// recorded at the widened resolution would land, so resizing commutes
+    /// with recording.
+    fn grow_to_cover(&mut self, x: f64) {
+        while x >= self.hi {
+            let doubled_hi = self.lo + 2.0 * (self.hi - self.lo);
+            if doubled_hi > self.max_hi {
+                return; // at the cap: x stays an overflow observation
+            }
+            let n = self.bins.len();
+            for k in 0..n {
+                let merged = match (self.bins.get(2 * k), self.bins.get(2 * k + 1)) {
+                    (Some(&a), Some(&b)) => a + b,
+                    (Some(&a), None) => a,
+                    _ => 0,
+                };
+                self.bins[k] = merged;
+            }
+            self.hi = doubled_hi;
+            self.inv_width = n as f64 / (self.hi - self.lo);
         }
     }
 
@@ -394,13 +444,24 @@ impl Histogram {
         self.count += 1;
         if x < self.lo {
             self.underflow += 1;
-        } else if x >= self.hi {
+            return;
+        }
+        if x >= self.hi {
+            self.grow_to_cover(x);
+        }
+        if x >= self.hi {
             self.overflow += 1;
         } else {
             let idx = ((x - self.lo) * self.inv_width) as usize;
             let idx = idx.min(self.bins.len() - 1);
             self.bins[idx] += 1;
         }
+    }
+
+    /// The current upper edge of the binned range (grows in an auto-resizing
+    /// histogram; fixed otherwise).
+    pub fn range_hi(&self) -> f64 {
+        self.hi
     }
 
     /// Total number of observations (including under/overflow).
@@ -644,6 +705,70 @@ mod tests {
                         // The median is in range, the maximum is not.
         assert!(h.quantile(0.5).is_some());
         assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn auto_resize_doubles_range_and_preserves_counts() {
+        let mut h = Histogram::with_auto_resize(0.0, 10.0, 10, 80.0);
+        for i in 0..10 {
+            h.record(i as f64); // one per bin
+        }
+        assert_eq!(h.range_hi(), 10.0);
+        // A value at 35 forces two doublings: [0,10) -> [0,20) -> [0,40).
+        h.record(35.0);
+        assert_eq!(h.range_hi(), 40.0);
+        assert_eq!(h.count(), 11);
+        assert_eq!(h.outliers(), (0, 0), "35 fits after resizing");
+        // The original ten observations survived the pair merges exactly.
+        assert_eq!(h.bins().iter().sum::<u64>(), 11);
+        assert_eq!(&h.bins()[..3], &[4, 4, 2], "0-3, 4-7, 8-9 per 4-wide bin");
+        // Beyond the cap (next doubling would need hi = 160 > 80): overflow.
+        h.record(100.0);
+        assert_eq!(h.range_hi(), 80.0, "one last doubling to the cap");
+        assert_eq!(h.outliers(), (0, 1));
+        assert_eq!(h.quantile(1.0), None, "unbounded tail stays unknown");
+    }
+
+    #[test]
+    fn auto_resize_is_record_order_independent() {
+        let values = [1.0, 9.5, 35.0, 4.0, 19.0, 0.0, 39.9];
+        let mut forward = Histogram::with_auto_resize(0.0, 10.0, 8, 640.0);
+        let mut reverse = Histogram::with_auto_resize(0.0, 10.0, 8, 640.0);
+        for &v in &values {
+            forward.record(v);
+        }
+        for &v in values.iter().rev() {
+            reverse.record(v);
+        }
+        assert_eq!(forward.range_hi(), reverse.range_hi());
+        assert_eq!(forward.bins(), reverse.bins());
+        assert_eq!(
+            forward.quantile(0.99).map(f64::to_bits),
+            reverse.quantile(0.99).map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn saturated_distribution_reports_p99_after_resizing() {
+        // Every observation beyond the initial range: a fixed histogram
+        // would answer None for every quantile; the auto-resizing one
+        // recovers the whole distribution at coarser resolution.
+        let mut h = Histogram::with_auto_resize(0.0, 10.0, 100, 10_000.0);
+        for i in 0..1000 {
+            h.record(50.0 + (i % 100) as f64);
+        }
+        let p99 = h.quantile(0.99).expect("saturation stays quantifiable");
+        assert!((p99 - 149.0).abs() < 10.0, "p99 {p99}");
+        let fixed = {
+            let mut f = Histogram::new(0.0, 10.0, 100);
+            f.record(50.0);
+            f
+        };
+        assert_eq!(
+            fixed.quantile(0.99),
+            None,
+            "fixed range keeps the old contract"
+        );
     }
 
     #[test]

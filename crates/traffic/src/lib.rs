@@ -12,6 +12,8 @@
 //! * [`packet`] — the packet record (origin, creation time, size).
 //! * [`source`] — Poisson, CBR and two-state bursty (MMPP) sources behind a
 //!   common [`source::TrafficSource`] trait.
+//! * [`profile`] — deterministic time-of-day modulation: a diurnal intensity
+//!   envelope applied to any source by time warping.
 //! * [`buffer`] — bounded FIFO with drop accounting and the queue-length
 //!   observations (`V(t_i)`) the CAEM predictor consumes.
 
@@ -20,8 +22,10 @@
 
 pub mod buffer;
 pub mod packet;
+pub mod profile;
 pub mod source;
 
 pub use buffer::{BufferStats, PacketBuffer, PAPER_BUFFER_CAPACITY};
 pub use packet::{Packet, PacketId};
+pub use profile::{DiurnalCycle, ModulatedSource};
 pub use source::{BurstySource, CbrSource, PoissonSource, TrafficSource};

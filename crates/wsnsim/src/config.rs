@@ -63,6 +63,28 @@ impl TrafficModel {
     }
 }
 
+/// Deterministic time-of-day modulation applied to every node's traffic
+/// source.  Default-off ([`TrafficProfile::Constant`]) so the paper's
+/// stationary workload is untouched; [`TrafficProfile::Diurnal`] warps the
+/// arrival process so the instantaneous rate follows a day/night cycle while
+/// the long-run mean rate — and every random stream — stay exactly as
+/// configured (see [`caem_traffic::profile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficProfile {
+    /// Stationary traffic (the paper's workload): no modulation.
+    Constant,
+    /// Sinusoidal diurnal cycle starting at its trough ("midnight") and
+    /// peaking half a period later: instantaneous rate =
+    /// `mean · (1 − a·cos(2πt/T))`.
+    Diurnal {
+        /// Cycle period `T` in seconds of virtual time.
+        period_s: f64,
+        /// Relative amplitude `a` in `[0, 1)`; 0.8 swings the rate between
+        /// 0.2× and 1.8× the mean.
+        relative_amplitude: f64,
+    },
+}
+
 /// How the nodes are laid out in the field.
 ///
 /// The paper evaluates a single uniform random deployment; real networks are
@@ -148,6 +170,9 @@ pub struct ScenarioConfig {
     pub topology: Topology,
     /// Traffic model per node.
     pub traffic: TrafficModel,
+    /// Time-of-day modulation of the traffic model (default
+    /// [`TrafficProfile::Constant`], the paper's stationary workload).
+    pub traffic_profile: TrafficProfile,
     /// Buffer capacity per node; `None` = unbounded (the Fig. 12 setup).
     pub buffer_capacity: Option<usize>,
     /// Initial battery energy per node in joules (Fig. 8/9: 10 J).
@@ -213,6 +238,7 @@ impl ScenarioConfig {
             traffic: TrafficModel::Poisson {
                 rate_pps: traffic_rate_pps,
             },
+            traffic_profile: TrafficProfile::Constant,
             buffer_capacity: Some(50),
             initial_energy_j: 10.0,
             initial_energy_spread: 0.0,
@@ -290,6 +316,17 @@ impl ScenarioConfig {
         self
     }
 
+    /// Modulate every node's traffic with a diurnal cycle of the given
+    /// period (seconds) and relative amplitude in `[0, 1)`; the cycle starts
+    /// at its trough and the long-run mean rate is unchanged.
+    pub fn with_diurnal_traffic(mut self, period_s: f64, relative_amplitude: f64) -> Self {
+        self.traffic_profile = TrafficProfile::Diurnal {
+            period_s,
+            relative_amplitude,
+        };
+        self
+    }
+
     /// Set the per-node initial-energy spread fraction (see
     /// [`ScenarioConfig::initial_energy_spread`]).
     pub fn with_energy_spread(mut self, spread: f64) -> Self {
@@ -337,6 +374,17 @@ impl ScenarioConfig {
             self.traffic.mean_rate_pps() > 0.0,
             "traffic rate must be positive"
         );
+        if let TrafficProfile::Diurnal {
+            period_s,
+            relative_amplitude,
+        } = self.traffic_profile
+        {
+            assert!(period_s > 0.0, "diurnal period must be positive");
+            assert!(
+                (0.0..1.0).contains(&relative_amplitude),
+                "diurnal amplitude must be in [0, 1) so the rate stays positive"
+            );
+        }
         assert!(
             self.ch_probability > 0.0 && self.ch_probability <= 1.0,
             "CH probability must be in (0, 1]"
@@ -508,6 +556,35 @@ mod tests {
         assert_eq!(back.topology, cfg.topology);
         assert_eq!(back.initial_energy_spread, cfg.initial_energy_spread);
         assert_eq!(back.churn, cfg.churn);
+    }
+
+    #[test]
+    fn diurnal_builder_sets_profile_and_round_trips() {
+        let cfg =
+            ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 4).with_diurnal_traffic(600.0, 0.8);
+        assert_eq!(
+            cfg.traffic_profile,
+            TrafficProfile::Diurnal {
+                period_s: 600.0,
+                relative_amplitude: 0.8
+            }
+        );
+        assert_eq!(cfg.traffic.mean_rate_pps(), 5.0, "mean load unchanged");
+        cfg.validate();
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.traffic_profile, cfg.traffic_profile);
+    }
+
+    #[test]
+    #[should_panic]
+    fn diurnal_amplitude_of_one_fails_validation() {
+        let mut cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
+        cfg.traffic_profile = TrafficProfile::Diurnal {
+            period_s: 600.0,
+            relative_amplitude: 1.0,
+        };
+        cfg.validate();
     }
 
     #[test]

@@ -1,0 +1,1150 @@
+//! The distributed experiment runner: one grid, many worker **processes**,
+//! the filesystem as the coordination bus.
+//!
+//! The experiment engine's flat job list is the natural unit of
+//! distribution, and the persistence layer already makes every completed job
+//! a durable, deduplicatable JSONL record.  This module adds the missing
+//! execution layer on top of both:
+//!
+//! 1. A **coordinator** ([`ExperimentSpec::run_distributed`]) writes the
+//!    fully resolved job list to a [`GridManifest`] on disk, partitioned
+//!    round-robin into `shard_count` claimable shards, then spawns `N`
+//!    workers (separate processes via [`ProcessSpawner`], or in-process
+//!    threads via [`ThreadSpawner`] for tests and examples).
+//! 2. Each **worker** ([`run_worker`]) repeatedly claims a shard through a
+//!    lock-file lease (`create_new` is the atomic claim; a lease whose owner
+//!    process is dead or whose file has outlived its TTL is **stolen** by
+//!    rewrite-and-rename), runs the shard's jobs through one rayon fan-out,
+//!    and streams every completed [`JobRecord`] to its own per-worker JSONL
+//!    store using the torn-line-safe append path.  Idle workers steal
+//!    unclaimed or expired shards, so a killed worker only delays its
+//!    shards, never loses them.
+//! 3. The coordinator joins the workers, finishes any leftover shards
+//!    inline, and **merges** all worker stores through the single canonical
+//!    [`ExperimentReport::from_records`] path.  Because records are
+//!    deterministic in (scenario, policy, seed) and duplicates dedupe
+//!    last-wins over byte-identical payloads, a 1-worker run, an N-worker
+//!    run, a run with mid-flight worker kills and a killed-and-restarted
+//!    coordinator all produce **bit-identical** reports.
+//!
+//! Thread discipline: the coordinator exports
+//! `RAYON_TOTAL_THREADS = process_thread_cap() / workers` to every spawned
+//! worker process ([`rayon::split_thread_budget`]), so the whole process
+//! tree stays within the budget one process would use — the PR 2
+//! no-oversubscription guarantee, extended across `fork`/`exec`.
+//!
+//! No network is involved: shard claims, leases, records and the manifest
+//! are all plain files, so "several machines" is just "several processes"
+//! plus a shared filesystem.
+
+use std::collections::HashMap;
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration as StdDuration;
+
+use caem::policy::PolicyKind;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ScenarioConfig;
+use crate::experiment::{
+    worst_ci_half_width, ExperimentJob, ExperimentReport, ExperimentSpec, SequentialOutcome,
+    SequentialRound, SequentialStopping,
+};
+use crate::persist::{config_hash, fnv1a64, ExperimentStore, JobKey, JobRecord, StoreError};
+use crate::runner::SimulationRun;
+
+/// Manifest format version (bumped on incompatible layout changes).
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// File name of the grid manifest inside a shard directory.
+pub const MANIFEST_FILE: &str = "grid.json";
+
+/// Errors raised by the distributed runner.
+#[derive(Debug)]
+pub enum DistribError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A worker store failed to open, load or append.
+    Store(StoreError),
+    /// A malformed manifest, lease or layout.
+    Format(String),
+    /// The shard directory belongs to a different grid than the spec
+    /// describes (its manifest hash does not match).
+    ManifestMismatch {
+        /// Hash of the grid the caller's spec enumerates to.
+        expected: u64,
+        /// Hash recorded in the on-disk manifest.
+        found: u64,
+    },
+    /// All shards report done but merged records do not cover the grid.
+    Incomplete {
+        /// Number of jobs with no valid record.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for DistribError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistribError::Io(e) => write!(f, "distributed runner I/O error: {e}"),
+            DistribError::Store(e) => write!(f, "distributed runner store error: {e}"),
+            DistribError::Format(m) => write!(f, "distributed runner format error: {m}"),
+            DistribError::ManifestMismatch { expected, found } => write!(
+                f,
+                "shard directory holds a different grid (manifest hash {found:#x}, spec enumerates to {expected:#x}); \
+                 point --distrib-dir at a fresh directory or drop --resume to start over"
+            ),
+            DistribError::Incomplete { missing } => write!(
+                f,
+                "all shards are marked done but {missing} jobs have no valid record"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistribError {}
+
+impl From<std::io::Error> for DistribError {
+    fn from(e: std::io::Error) -> Self {
+        DistribError::Io(e)
+    }
+}
+
+impl From<StoreError> for DistribError {
+    fn from(e: StoreError) -> Self {
+        DistribError::Store(e)
+    }
+}
+
+/// The on-disk layout of one distributed grid:
+///
+/// ```text
+/// <root>/
+///   grid.json                  # the GridManifest (written atomically)
+///   shards/shard_0007.lease    # claim lock: JSON ShardLease, mtime = heartbeat
+///   shards/shard_0007.done     # completion marker (written atomically)
+///   workers/worker_000.jsonl   # per-worker ExperimentStore (JSONL records)
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardLayout {
+    root: PathBuf,
+}
+
+impl ShardLayout {
+    /// Describe (without creating) the layout rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ShardLayout { root: root.into() }
+    }
+
+    /// The layout's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the grid manifest.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join(MANIFEST_FILE)
+    }
+
+    /// Directory holding shard leases and done markers.
+    pub fn shards_dir(&self) -> PathBuf {
+        self.root.join("shards")
+    }
+
+    /// Directory holding the per-worker JSONL stores.
+    pub fn workers_dir(&self) -> PathBuf {
+        self.root.join("workers")
+    }
+
+    /// Lease (claim lock) path of one shard.
+    pub fn lease_path(&self, shard: usize) -> PathBuf {
+        self.shards_dir().join(format!("shard_{shard:04}.lease"))
+    }
+
+    /// Completion-marker path of one shard.
+    pub fn done_path(&self, shard: usize) -> PathBuf {
+        self.shards_dir().join(format!("shard_{shard:04}.done"))
+    }
+
+    /// The JSONL store path of a named worker.
+    pub fn worker_store_path(&self, worker: &str) -> PathBuf {
+        self.workers_dir().join(format!("worker_{worker}.jsonl"))
+    }
+
+    /// Create the shard and worker directories (and the root).
+    pub fn create_dirs(&self) -> Result<(), DistribError> {
+        fs::create_dir_all(self.shards_dir())?;
+        fs::create_dir_all(self.workers_dir())?;
+        Ok(())
+    }
+
+    /// How many of the first `shard_count` shards carry a done marker.
+    pub fn done_count(&self, shard_count: usize) -> usize {
+        (0..shard_count)
+            .filter(|&s| self.done_path(s).exists())
+            .count()
+    }
+
+    /// True when every shard carries a done marker.
+    pub fn all_done(&self, shard_count: usize) -> bool {
+        self.done_count(shard_count) == shard_count
+    }
+
+    /// Discover every per-worker store in the layout, sorted by file name
+    /// (the merge result does not depend on this order; sorting just keeps
+    /// log output stable).
+    pub fn discover_worker_stores(&self) -> Result<Vec<PathBuf>, DistribError> {
+        let mut stores = Vec::new();
+        for entry in fs::read_dir(self.workers_dir())? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "jsonl") {
+                stores.push(path);
+            }
+        }
+        stores.sort();
+        Ok(stores)
+    }
+}
+
+/// One fully resolved job as persisted in the grid manifest: the
+/// deterministic coordinates plus the exact [`ScenarioConfig`] to run, so a
+/// worker process needs nothing but the manifest to do its share.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestJob {
+    /// Index of the scenario in the grid's scenario list.
+    pub scenario_index: usize,
+    /// The scenario's label.
+    pub scenario: String,
+    /// Index of the policy in the grid's policy list.
+    pub policy_index: usize,
+    /// The protocol variant to run.
+    pub policy: PolicyKind,
+    /// Master seed of the replicate.
+    pub seed: u64,
+    /// [`config_hash`] of `config` — the validity criterion merged records
+    /// are checked against.
+    pub config_hash: u64,
+    /// The fully resolved configuration.
+    pub config: ScenarioConfig,
+}
+
+impl ManifestJob {
+    /// The job's deterministic coordinates.
+    pub fn key(&self) -> JobKey {
+        (self.scenario_index, self.policy_index, self.seed)
+    }
+
+    /// Simulate the job and encode the result as its [`JobRecord`] — the
+    /// exact record a single-process [`ExperimentSpec::run`] would produce.
+    pub fn run(&self) -> JobRecord {
+        let job = ExperimentJob {
+            scenario: self.scenario_index,
+            policy: self.policy,
+            seed: self.seed,
+            config: self.config.clone(),
+        };
+        let result = SimulationRun::new(job.config.clone()).run();
+        JobRecord::from_result(&self.scenario, self.policy_index, &job, &result)
+    }
+}
+
+/// The persisted description of one distributed grid: every job fully
+/// resolved, plus the shard partition.  Shard `s` owns the jobs whose
+/// enumeration index `j` satisfies `j % shard_count == s` (round-robin, so
+/// every shard sees the same scenario mix and shard runtimes stay even).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridManifest {
+    caem_distrib_manifest: u64,
+    /// FNV-1a hash of the serialized job list — the grid identity compared
+    /// when a coordinator resumes a directory.  Deliberately independent of
+    /// the shard partition, so a grid started with `--workers 3` can be
+    /// resumed with any worker count (the on-disk partition is kept).
+    pub grid_hash: u64,
+    /// Number of claimable shards the job list is partitioned into.
+    pub shard_count: usize,
+    /// The seed replicates of the grid (in spec order).
+    pub seeds: Vec<u64>,
+    /// Every job of the grid, in canonical enumeration order.
+    pub jobs: Vec<ManifestJob>,
+}
+
+impl GridManifest {
+    /// Build the manifest a spec enumerates to, partitioned into
+    /// `shard_count` shards.
+    pub fn from_spec(spec: &ExperimentSpec, shard_count: usize) -> Self {
+        assert!(shard_count >= 1, "need at least one shard");
+        let jobs: Vec<ManifestJob> = spec
+            .enumerate_jobs()
+            .into_iter()
+            .map(|job| {
+                let policy_index = spec
+                    .policies
+                    .iter()
+                    .position(|&p| p == job.policy)
+                    .expect("enumerated jobs carry spec policies");
+                ManifestJob {
+                    scenario_index: job.scenario,
+                    scenario: spec.scenarios[job.scenario].label.clone(),
+                    policy_index,
+                    policy: job.policy,
+                    seed: job.seed,
+                    config_hash: config_hash(&job.config),
+                    config: job.config,
+                }
+            })
+            .collect();
+        let grid_hash = Self::hash_identity(&jobs);
+        GridManifest {
+            caem_distrib_manifest: MANIFEST_VERSION,
+            grid_hash,
+            shard_count,
+            seeds: spec.seeds.clone(),
+            jobs,
+        }
+    }
+
+    fn hash_identity(jobs: &[ManifestJob]) -> u64 {
+        let text = serde_json::to_string(&jobs.to_vec()).expect("manifest jobs always serialize");
+        fnv1a64(text.as_bytes())
+    }
+
+    /// The jobs belonging to one shard.
+    pub fn shard_jobs(&self, shard: usize) -> Vec<&ManifestJob> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| j % self.shard_count == shard)
+            .map(|(_, job)| job)
+            .collect()
+    }
+
+    /// Write the manifest atomically (temp file + rename) so a crashed
+    /// coordinator can never leave a torn manifest for workers to misread.
+    pub fn write(&self, layout: &ShardLayout) -> Result<(), DistribError> {
+        let text = serde_json::to_string(self)
+            .map_err(|e| DistribError::Format(format!("manifest serialization failed: {e}")))?;
+        write_atomic(&layout.manifest_path(), text.as_bytes())?;
+        Ok(())
+    }
+
+    /// Load the manifest of a shard directory.
+    pub fn load(layout: &ShardLayout) -> Result<Self, DistribError> {
+        let path = layout.manifest_path();
+        let text = fs::read_to_string(&path)?;
+        let manifest: GridManifest = serde_json::from_str(&text)
+            .map_err(|e| DistribError::Format(format!("bad manifest {}: {e}", path.display())))?;
+        if manifest.caem_distrib_manifest != MANIFEST_VERSION {
+            return Err(DistribError::Format(format!(
+                "manifest version {} (this build reads version {MANIFEST_VERSION})",
+                manifest.caem_distrib_manifest
+            )));
+        }
+        if manifest.shard_count == 0 || manifest.jobs.is_empty() {
+            return Err(DistribError::Format(
+                "manifest describes an empty grid".into(),
+            ));
+        }
+        Ok(manifest)
+    }
+
+    /// Validity lookup for merged records: job key → (config hash, label).
+    fn record_filter(&self) -> HashMap<JobKey, (u64, &str)> {
+        self.jobs
+            .iter()
+            .map(|j| (j.key(), (j.config_hash, j.scenario.as_str())))
+            .collect()
+    }
+}
+
+/// The content of a shard lease: who claimed it.  The lease file's mtime is
+/// the claim heartbeat — refreshed whenever the owner makes progress — and
+/// `pid` lets Linux hosts detect a dead owner immediately instead of waiting
+/// for the TTL.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardLease {
+    /// Human-readable owner label (e.g. `worker_002` or `coordinator`).
+    pub worker: String,
+    /// Process id of the owner.
+    pub pid: u32,
+}
+
+/// Atomically replace `path` with `bytes` (unique temp file + rename), so
+/// concurrent writers interleave whole files, never bytes.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DistribError> {
+    // Temp names are unique per process *and* per call: concurrent writers
+    // to the same target (e.g. per-job heartbeat refreshes racing across a
+    // worker's rayon threads) must never share a staging file, or one
+    // rename would rip the other's staged bytes out from under it.
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Is the process with this id verifiably gone?  Only Linux can answer;
+/// elsewhere the answer is "unknown" and staleness falls back to the TTL.
+fn pid_verifiably_dead(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
+}
+
+/// Is the lease at `path` stealable?  Yes when its owner process is
+/// verifiably dead (and is not this process, which "owns" every in-process
+/// worker thread), or when the file has not been refreshed within `ttl`.
+fn lease_is_stale(path: &Path, lease: Option<&ShardLease>, ttl: StdDuration) -> bool {
+    if let Some(lease) = lease {
+        if lease.pid != std::process::id() && pid_verifiably_dead(lease.pid) {
+            return true;
+        }
+    }
+    match fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(mtime) => mtime.elapsed().map(|age| age >= ttl).unwrap_or(false),
+        // The lease vanished (or mtime is unreadable) mid-check: let the
+        // atomic create/rename race below settle ownership.
+        Err(_) => true,
+    }
+}
+
+/// Outcome of one claim attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClaimOutcome {
+    /// This worker now holds the shard's lease.
+    Claimed,
+    /// The shard is already completed.
+    Done,
+    /// Another live worker holds a fresh lease.
+    Busy,
+}
+
+/// Try to claim `shard`: atomic `create_new` of the lease file, or an
+/// atomic rewrite-and-rename **steal** when the existing lease is stale.
+/// Two stealers can race; both then run the shard, which is safe because
+/// records are deterministic and the merge dedupes by job key.
+fn try_claim_shard(
+    layout: &ShardLayout,
+    shard: usize,
+    me: &ShardLease,
+    ttl: StdDuration,
+) -> Result<ClaimOutcome, DistribError> {
+    if layout.done_path(shard).exists() {
+        return Ok(ClaimOutcome::Done);
+    }
+    let lease_path = layout.lease_path(shard);
+    let body = serde_json::to_string(me)
+        .map_err(|e| DistribError::Format(format!("lease serialization failed: {e}")))?;
+    match OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&lease_path)
+    {
+        Ok(mut file) => {
+            file.write_all(body.as_bytes())?;
+            Ok(ClaimOutcome::Claimed)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            let holder: Option<ShardLease> = fs::read_to_string(&lease_path)
+                .ok()
+                .and_then(|text| serde_json::from_str(&text).ok());
+            if lease_is_stale(&lease_path, holder.as_ref(), ttl) {
+                write_atomic(&lease_path, body.as_bytes())?;
+                Ok(ClaimOutcome::Claimed)
+            } else {
+                Ok(ClaimOutcome::Busy)
+            }
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Refresh a held lease (bumps the file's mtime — the heartbeat other
+/// workers consult before stealing).
+fn refresh_lease(layout: &ShardLayout, shard: usize, me: &ShardLease) -> Result<(), DistribError> {
+    let body = serde_json::to_string(me)
+        .map_err(|e| DistribError::Format(format!("lease serialization failed: {e}")))?;
+    write_atomic(&layout.lease_path(shard), body.as_bytes())
+}
+
+/// Everything a worker needs to participate in a grid.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The shard directory (must contain a manifest).
+    pub dir: PathBuf,
+    /// This worker's own JSONL store (created if missing, resumed if not).
+    pub store_path: PathBuf,
+    /// Owner label written into claimed leases.
+    pub label: String,
+    /// Lease time-to-live before other workers may steal.
+    pub lease_ttl: StdDuration,
+    /// Test hook: stop (as if killed) after completing this many shards.
+    pub max_shards: Option<usize>,
+}
+
+impl WorkerConfig {
+    /// A worker on `dir` writing to `store_path`, with a 60 s lease TTL.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        store_path: impl Into<PathBuf>,
+        label: impl Into<String>,
+    ) -> Self {
+        WorkerConfig {
+            dir: dir.into(),
+            store_path: store_path.into(),
+            label: label.into(),
+            lease_ttl: StdDuration::from_secs(60),
+            max_shards: None,
+        }
+    }
+}
+
+/// What one worker invocation accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// Shards this worker claimed and completed.
+    pub shards_completed: usize,
+    /// Jobs simulated (fresh records appended to the worker's store).
+    pub jobs_run: usize,
+    /// Jobs skipped because a valid record was already in the worker's own
+    /// store (a restarted worker resuming its partial shard).
+    pub jobs_reused: usize,
+}
+
+/// The worker loop: claim a shard, run its pending jobs through one rayon
+/// fan-out (streaming each record to this worker's store the moment it
+/// completes), mark the shard done, repeat — until every shard is either
+/// done or freshly leased by another live worker.
+///
+/// This is what the `experiment` binary executes under `--worker-shard`,
+/// and what [`ThreadSpawner`] runs in-process.
+pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
+    let layout = ShardLayout::new(&cfg.dir);
+    let manifest = GridManifest::load(&layout)?;
+    let mut store = ExperimentStore::open(&cfg.store_path)?;
+    let me = ShardLease {
+        worker: cfg.label.clone(),
+        pid: std::process::id(),
+    };
+    let mut outcome = WorkerOutcome::default();
+    'scan: loop {
+        let mut progressed = false;
+        for shard in 0..manifest.shard_count {
+            if cfg
+                .max_shards
+                .is_some_and(|limit| outcome.shards_completed >= limit)
+            {
+                break 'scan; // simulated death, for the kill/steal tests
+            }
+            if try_claim_shard(&layout, shard, &me, cfg.lease_ttl)? != ClaimOutcome::Claimed {
+                continue;
+            }
+            progressed = true;
+            run_shard(&layout, &manifest, shard, &me, &mut store, &mut outcome)?;
+            refresh_lease(&layout, shard, &me)?;
+            let summary = format!(
+                "{{\"worker\":{:?},\"pid\":{},\"jobs\":{}}}",
+                me.worker,
+                me.pid,
+                manifest.shard_jobs(shard).len()
+            );
+            write_atomic(&layout.done_path(shard), summary.as_bytes())?;
+            outcome.shards_completed += 1;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Run one claimed shard: reuse the worker's own valid records, fan the
+/// rest out through the single parallel layer, stream each fresh record.
+fn run_shard(
+    layout: &ShardLayout,
+    manifest: &GridManifest,
+    shard: usize,
+    me: &ShardLease,
+    store: &mut ExperimentStore,
+    outcome: &mut WorkerOutcome,
+) -> Result<(), DistribError> {
+    let jobs = manifest.shard_jobs(shard);
+    let total = jobs.len();
+    let pending: Vec<&ManifestJob> = jobs
+        .into_iter()
+        .filter(|job| {
+            store
+                .get(job.key(), job.config_hash, &job.scenario)
+                .is_none()
+        })
+        .collect();
+    outcome.jobs_reused += total - pending.len();
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let sink = store.sink();
+    // The worker's single parallel layer, drawing from the process budget
+    // the coordinator allotted via RAYON_TOTAL_THREADS.
+    let fresh: Vec<JobRecord> = pending
+        .par_iter()
+        .map(|job| {
+            let record = job.run();
+            sink.append(&record).expect("worker store append failed");
+            // Heartbeat: bump the lease mtime after every completed job, so
+            // a shard whose jobs together outlast the TTL is not stolen
+            // while its owner is demonstrably making progress.  Best-effort
+            // — a lost beat only risks duplicated work, never wrong results.
+            let _ = refresh_lease(layout, shard, me);
+            record
+        })
+        .collect();
+    outcome.jobs_run += fresh.len();
+    for record in fresh {
+        store.note_record(record);
+    }
+    Ok(())
+}
+
+/// A handle on one spawned worker (process or thread).
+pub struct WorkerHandle(HandleInner);
+
+enum HandleInner {
+    Process(std::process::Child),
+    Thread(std::thread::JoinHandle<Result<WorkerOutcome, DistribError>>),
+}
+
+impl WorkerHandle {
+    /// Wrap a spawned worker process.
+    pub fn from_child(child: std::process::Child) -> Self {
+        WorkerHandle(HandleInner::Process(child))
+    }
+
+    /// Wrap an in-process worker thread.
+    pub fn from_thread(
+        handle: std::thread::JoinHandle<Result<WorkerOutcome, DistribError>>,
+    ) -> Self {
+        WorkerHandle(HandleInner::Thread(handle))
+    }
+
+    /// Wait for the worker to finish.  `Err` carries a description of an
+    /// abnormal exit (non-zero status, kill signal, panic or worker error);
+    /// the coordinator treats that as "its shards will be stolen", not as a
+    /// fatal condition.
+    pub fn join(self) -> Result<(), String> {
+        match self.0 {
+            HandleInner::Process(mut child) => match child.wait() {
+                Ok(status) if status.success() => Ok(()),
+                Ok(status) => Err(format!("worker process exited with {status}")),
+                Err(e) => Err(format!("could not wait for worker process: {e}")),
+            },
+            HandleInner::Thread(handle) => match handle.join() {
+                Ok(Ok(_)) => Ok(()),
+                Ok(Err(e)) => Err(format!("worker thread failed: {e}")),
+                Err(_) => Err("worker thread panicked".to_string()),
+            },
+        }
+    }
+}
+
+/// How the coordinator launches workers.
+pub trait WorkerSpawner {
+    /// Launch worker `index` on the grid at `dir`.  `thread_budget` is the
+    /// rayon thread share this worker should confine itself to (exported as
+    /// `RAYON_TOTAL_THREADS` for process workers; in-process workers share
+    /// the parent's budget, which already caps the total by construction).
+    fn spawn(
+        &self,
+        dir: &Path,
+        index: usize,
+        thread_budget: usize,
+    ) -> Result<WorkerHandle, DistribError>;
+}
+
+/// Spawn real worker **processes**: re-invokes a binary (normally
+/// `std::env::current_exe()`) with `--worker-shard <dir> --store
+/// <dir>/workers/worker_<index>.jsonl` appended to `base_args`, and
+/// `RAYON_TOTAL_THREADS` set to the worker's thread share.
+#[derive(Debug, Clone)]
+pub struct ProcessSpawner {
+    /// The worker binary to execute.
+    pub program: PathBuf,
+    /// Arguments placed before the `--worker-shard`/`--store` pair.
+    pub base_args: Vec<String>,
+}
+
+impl ProcessSpawner {
+    /// Spawn workers by re-invoking the current executable.
+    pub fn current_exe(base_args: Vec<String>) -> Result<Self, DistribError> {
+        Ok(ProcessSpawner {
+            program: std::env::current_exe()?,
+            base_args,
+        })
+    }
+}
+
+impl WorkerSpawner for ProcessSpawner {
+    fn spawn(
+        &self,
+        dir: &Path,
+        index: usize,
+        thread_budget: usize,
+    ) -> Result<WorkerHandle, DistribError> {
+        let store = ShardLayout::new(dir).worker_store_path(&format!("{index:03}"));
+        let child = std::process::Command::new(&self.program)
+            .args(&self.base_args)
+            .arg("--worker-shard")
+            .arg(dir)
+            .arg("--store")
+            .arg(store)
+            .env("RAYON_TOTAL_THREADS", thread_budget.to_string())
+            .spawn()?;
+        Ok(WorkerHandle::from_child(child))
+    }
+}
+
+/// Spawn in-process worker **threads** running [`run_worker`] directly —
+/// the claim protocol is identical (same lease files, same steals), which
+/// is what the integration tests and the example exercise without needing a
+/// separate binary.  All threads draw from the parent's shared rayon
+/// budget, so the no-oversubscription guarantee holds without an env split.
+#[derive(Debug, Clone)]
+pub struct ThreadSpawner {
+    /// Lease TTL handed to every worker.
+    pub lease_ttl: StdDuration,
+    /// Test hook: each worker stops (as if killed) after this many shards.
+    pub max_shards: Option<usize>,
+}
+
+impl Default for ThreadSpawner {
+    fn default() -> Self {
+        ThreadSpawner {
+            lease_ttl: StdDuration::from_secs(60),
+            max_shards: None,
+        }
+    }
+}
+
+impl WorkerSpawner for ThreadSpawner {
+    fn spawn(
+        &self,
+        dir: &Path,
+        index: usize,
+        _thread_budget: usize,
+    ) -> Result<WorkerHandle, DistribError> {
+        let cfg = WorkerConfig {
+            dir: dir.to_path_buf(),
+            store_path: ShardLayout::new(dir).worker_store_path(&format!("{index:03}")),
+            label: format!("thread_{index:03}"),
+            lease_ttl: self.lease_ttl,
+            max_shards: self.max_shards,
+        };
+        Ok(WorkerHandle::from_thread(std::thread::spawn(move || {
+            run_worker(&cfg)
+        })))
+    }
+}
+
+/// Coordinator-side knobs of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistribOptions {
+    /// Worker processes (or threads) to spawn.
+    pub workers: usize,
+    /// Shard granularity: the job list splits into `workers ×
+    /// shards_per_worker` shards (clamped to the job count), so stealing
+    /// rebalances in useful increments when a worker dies.
+    pub shards_per_worker: usize,
+    /// Lease time-to-live before an unrefreshed claim may be stolen.
+    pub lease_ttl: StdDuration,
+    /// Wipe the shard directory before starting (a fresh run).  Leave false
+    /// to resume: done shards are skipped, valid records reused.
+    pub fresh: bool,
+}
+
+impl DistribOptions {
+    /// Defaults for `workers` workers: 4 shards per worker, 60 s TTL,
+    /// resume semantics (`fresh = false`).
+    pub fn new(workers: usize) -> Self {
+        DistribOptions {
+            workers,
+            shards_per_worker: 4,
+            lease_ttl: StdDuration::from_secs(60),
+            fresh: false,
+        }
+    }
+}
+
+/// Collect every record in the given stores that belongs to `manifest`
+/// (matching key, config hash and scenario label).  Records from other
+/// grids, stale configurations or renamed scenarios are skipped with a
+/// warning — they cannot silently contaminate a merged report.
+///
+/// The result is deliberately **order-insensitive** downstream: records are
+/// deterministic per job, so however the stores are ordered (and however
+/// many duplicates worker kills and steals produced), the deduplicated
+/// canonical aggregation is identical.
+pub fn collect_grid_records(
+    manifest: &GridManifest,
+    store_paths: &[PathBuf],
+) -> Result<Vec<JobRecord>, DistribError> {
+    let filter = manifest.record_filter();
+    let mut records = Vec::new();
+    let mut foreign = 0usize;
+    for path in store_paths {
+        let store = ExperimentStore::load(path)?;
+        for record in store.records() {
+            match filter.get(&record.key()) {
+                Some(&(hash, label)) if record.config_hash == hash && record.scenario == label => {
+                    records.push(record.clone());
+                }
+                _ => foreign += 1,
+            }
+        }
+    }
+    if foreign > 0 {
+        eprintln!("warning: ignored {foreign} persisted records that do not belong to this grid");
+    }
+    Ok(records)
+}
+
+/// Merge a completed grid directory into its canonical report (no spec
+/// needed — the offline counterpart of [`ExperimentSpec::run_distributed`],
+/// analogous to [`ExperimentStore::rebuild_report`]).
+pub fn merge_grid_report(dir: &Path) -> Result<ExperimentReport, DistribError> {
+    let layout = ShardLayout::new(dir);
+    let manifest = GridManifest::load(&layout)?;
+    let stores = layout.discover_worker_stores()?;
+    let records = collect_grid_records(&manifest, &stores)?;
+    Ok(ExperimentReport::from_records(records))
+}
+
+impl ExperimentSpec {
+    /// Run the grid across `opts.workers` workers coordinated through the
+    /// shard directory `dir`, and aggregate through the canonical
+    /// [`ExperimentReport::from_records`] path.
+    ///
+    /// The report is **bit-identical** to [`ExperimentSpec::run`] on the
+    /// same spec — whether one worker ran everything, N workers split it,
+    /// workers were killed mid-run, or the whole coordinator was killed and
+    /// this call resumed the directory (`opts.fresh == false`).
+    pub fn run_distributed<S: WorkerSpawner>(
+        &self,
+        dir: &Path,
+        opts: &DistribOptions,
+        spawner: &S,
+    ) -> Result<ExperimentReport, DistribError> {
+        let records = self.run_distributed_records(dir, opts, spawner)?;
+        let mut report = ExperimentReport::from_records(records);
+        report.seeds = self.seeds.clone();
+        Ok(report)
+    }
+
+    /// The record-level body of [`ExperimentSpec::run_distributed`]:
+    /// prepare the manifest, spawn and join workers, finish leftover shards
+    /// inline, and return every record of the grid (deduplicable, covering
+    /// every job exactly once after dedup).
+    pub fn run_distributed_records<S: WorkerSpawner>(
+        &self,
+        dir: &Path,
+        opts: &DistribOptions,
+        spawner: &S,
+    ) -> Result<Vec<JobRecord>, DistribError> {
+        self.assert_distinct_axes();
+        assert!(opts.workers >= 1, "need at least one worker");
+        assert!(
+            opts.shards_per_worker >= 1,
+            "need at least one shard per worker"
+        );
+        assert!(self.job_count() >= 1, "cannot distribute an empty grid");
+        let layout = ShardLayout::new(dir);
+        if opts.fresh && dir.exists() {
+            fs::remove_dir_all(dir)?;
+        }
+        layout.create_dirs()?;
+        let shard_count = (opts.workers * opts.shards_per_worker).min(self.job_count());
+        let fresh_manifest = GridManifest::from_spec(self, shard_count);
+        // Resume keeps the on-disk shard partition (workers read it from the
+        // manifest anyway), but only for the *same* grid: a different job
+        // list is rejected rather than silently mixed in.
+        let manifest = if layout.manifest_path().exists() {
+            let existing = GridManifest::load(&layout)?;
+            if existing.grid_hash != fresh_manifest.grid_hash {
+                return Err(DistribError::ManifestMismatch {
+                    expected: fresh_manifest.grid_hash,
+                    found: existing.grid_hash,
+                });
+            }
+            existing
+        } else {
+            fresh_manifest.write(&layout)?;
+            fresh_manifest
+        };
+
+        let budget = rayon::split_thread_budget(opts.workers);
+        let handles: Vec<WorkerHandle> = (0..opts.workers)
+            .map(|i| spawner.spawn(dir, i, budget))
+            .collect::<Result<_, _>>()?;
+        for handle in handles {
+            if let Err(why) = handle.join() {
+                eprintln!("warning: {why} — its unfinished shards will be stolen");
+            }
+        }
+
+        // Finish whatever the workers left behind (killed workers leave
+        // stale leases; the inline pass steals and completes them).
+        let mut patience = 0u32;
+        while !layout.all_done(manifest.shard_count) {
+            let inline = WorkerConfig {
+                dir: dir.to_path_buf(),
+                store_path: layout.worker_store_path("coordinator"),
+                label: "coordinator".to_string(),
+                lease_ttl: opts.lease_ttl,
+                max_shards: None,
+            };
+            run_worker(&inline)?;
+            if layout.all_done(manifest.shard_count) {
+                break;
+            }
+            // Shards still leased (e.g. a worker died milliseconds ago on a
+            // non-Linux host): wait a slice of the TTL and steal.
+            patience += 1;
+            if patience > 10_000 {
+                return Err(DistribError::Format(
+                    "shards never completed (live leases that refuse to expire)".into(),
+                ));
+            }
+            std::thread::sleep(
+                opts.lease_ttl
+                    .div_f64(4.0)
+                    .min(StdDuration::from_millis(200)),
+            );
+        }
+
+        let stores = layout.discover_worker_stores()?;
+        let records = collect_grid_records(&manifest, &stores)?;
+        let mut keys: Vec<JobKey> = records.iter().map(JobRecord::key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        if keys.len() != manifest.jobs.len() {
+            return Err(DistribError::Incomplete {
+                missing: manifest.jobs.len() - keys.len(),
+            });
+        }
+        Ok(records)
+    }
+}
+
+/// Distributed CI-driven sequential stopping: the exact
+/// [`ExperimentSpec::run_sequential`] loop, with each replicate batch
+/// running as its own distributed grid under `dir/round_<k>/`.
+///
+/// Batches (and therefore rounds, replicate counts and the final report)
+/// are deterministic in the spec and stopping rule, so a killed and
+/// re-invoked loop resumes: completed rounds merge straight from their
+/// shard directories without simulating anything.
+pub fn run_sequential_distributed<S: WorkerSpawner>(
+    spec: &ExperimentSpec,
+    dir: &Path,
+    opts: &DistribOptions,
+    spawner: &S,
+    stop: &SequentialStopping,
+) -> Result<SequentialOutcome, DistribError> {
+    stop.validate();
+    assert!(
+        !spec.seeds.is_empty(),
+        "sequential stopping needs a non-empty initial seed batch"
+    );
+    assert!(
+        stop.max_replicates >= spec.seeds.len(),
+        "replicate cap {} is below the initial batch of {} seeds — the cap could never be honoured",
+        stop.max_replicates,
+        spec.seeds.len()
+    );
+    if opts.fresh && dir.exists() {
+        fs::remove_dir_all(dir)?;
+    }
+    let round_opts = DistribOptions {
+        fresh: false,
+        ..opts.clone()
+    };
+    let mut seeds = spec.seeds.clone();
+    let mut batch_start = 0usize;
+    let mut all_records: Vec<JobRecord> = Vec::new();
+    let mut rounds = Vec::new();
+    loop {
+        let batch = ExperimentSpec {
+            scenarios: spec.scenarios.clone(),
+            policies: spec.policies.clone(),
+            seeds: seeds[batch_start..].to_vec(),
+        };
+        let round_dir = dir.join(format!("round_{:03}", rounds.len()));
+        all_records.extend(batch.run_distributed_records(&round_dir, &round_opts, spawner)?);
+        let mut report = ExperimentReport::from_records(all_records.iter().cloned());
+        report.seeds = seeds.clone();
+        let worst_half_width = worst_ci_half_width(&report, &stop.metric);
+        rounds.push(SequentialRound {
+            replicates: seeds.len(),
+            worst_half_width,
+        });
+        let converged = worst_half_width <= stop.target_half_width;
+        if converged || seeds.len() >= stop.max_replicates {
+            return Ok(SequentialOutcome {
+                report,
+                rounds,
+                converged,
+            });
+        }
+        batch_start = seeds.len();
+        let next = seeds.iter().copied().max().expect("non-empty seeds") + 1;
+        let add = stop.batch.min(stop.max_replicates - seeds.len()) as u64;
+        seeds.extend((0..add).map(|i| next + i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::experiment::ScenarioSpec;
+    use caem_simcore::time::Duration;
+
+    fn temp_grid(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("caem_distrib_unit_{}_{name}", std::process::id()));
+        fs::remove_dir_all(&path).ok();
+        path
+    }
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec::paper_policies(
+            vec![ScenarioSpec::new(
+                "uniform",
+                ScenarioConfig::small(PolicyKind::PureLeach, 8.0, 0)
+                    .with_duration(Duration::from_secs(5)),
+            )],
+            400,
+            2,
+        )
+    }
+
+    #[test]
+    fn manifest_partitions_every_job_exactly_once() {
+        let spec = tiny_spec();
+        let manifest = GridManifest::from_spec(&spec, 4);
+        assert_eq!(manifest.jobs.len(), spec.job_count());
+        assert_eq!(manifest.seeds, spec.seeds);
+        let mut seen = 0;
+        for shard in 0..manifest.shard_count {
+            seen += manifest.shard_jobs(shard).len();
+        }
+        assert_eq!(seen, manifest.jobs.len(), "shards cover the grid");
+        // Identity follows the job list, not the partition: the same grid
+        // resharded for a different worker count still resumes...
+        let other = GridManifest::from_spec(&spec, 3);
+        assert_eq!(manifest.grid_hash, other.grid_hash);
+        // ...but any change to the jobs themselves is a different grid.
+        let mut edited = spec.clone();
+        edited.seeds[0] += 1;
+        assert_ne!(
+            manifest.grid_hash,
+            GridManifest::from_spec(&edited, 4).grid_hash
+        );
+    }
+
+    #[test]
+    fn manifest_round_trips_through_its_file() {
+        let spec = tiny_spec();
+        let dir = temp_grid("manifest_roundtrip");
+        let layout = ShardLayout::new(&dir);
+        layout.create_dirs().unwrap();
+        let manifest = GridManifest::from_spec(&spec, 2);
+        manifest.write(&layout).unwrap();
+        let back = GridManifest::load(&layout).unwrap();
+        assert_eq!(back.grid_hash, manifest.grid_hash);
+        assert_eq!(back.shard_count, 2);
+        assert_eq!(back.jobs.len(), manifest.jobs.len());
+        assert_eq!(back.jobs[0].key(), manifest.jobs[0].key());
+        assert_eq!(back.jobs[0].config_hash, manifest.jobs[0].config_hash);
+        // The persisted config hashes to the same identity after the JSON
+        // round-trip — the property record validation relies on.
+        assert_eq!(config_hash(&back.jobs[0].config), back.jobs[0].config_hash);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_done_wins() {
+        let dir = temp_grid("claims");
+        let layout = ShardLayout::new(&dir);
+        layout.create_dirs().unwrap();
+        let ttl = StdDuration::from_secs(60);
+        let a = ShardLease {
+            worker: "a".into(),
+            pid: std::process::id(),
+        };
+        let b = ShardLease {
+            worker: "b".into(),
+            pid: std::process::id(),
+        };
+        assert_eq!(
+            try_claim_shard(&layout, 0, &a, ttl).unwrap(),
+            ClaimOutcome::Claimed
+        );
+        assert_eq!(
+            try_claim_shard(&layout, 0, &b, ttl).unwrap(),
+            ClaimOutcome::Busy,
+            "a fresh lease is exclusive"
+        );
+        write_atomic(&layout.done_path(0), b"{}").unwrap();
+        assert_eq!(
+            try_claim_shard(&layout, 0, &b, ttl).unwrap(),
+            ClaimOutcome::Done
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dead_owner_and_expired_leases_are_stolen() {
+        let dir = temp_grid("steal");
+        let layout = ShardLayout::new(&dir);
+        layout.create_dirs().unwrap();
+        let me = ShardLease {
+            worker: "stealer".into(),
+            pid: std::process::id(),
+        };
+        // A lease held by a verifiably dead process is stolen immediately.
+        let ghost = ShardLease {
+            worker: "ghost".into(),
+            pid: u32::MAX - 1,
+        };
+        write_atomic(
+            &layout.lease_path(0),
+            serde_json::to_string(&ghost).unwrap().as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(
+            try_claim_shard(&layout, 0, &me, StdDuration::from_secs(3600)).unwrap(),
+            ClaimOutcome::Claimed,
+            "dead-pid lease must be stolen despite a fresh mtime"
+        );
+        // A live-pid lease is only stolen after its TTL expires.
+        write_atomic(
+            &layout.lease_path(1),
+            serde_json::to_string(&me).unwrap().as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(
+            try_claim_shard(&layout, 1, &me, StdDuration::from_secs(3600)).unwrap(),
+            ClaimOutcome::Busy
+        );
+        std::thread::sleep(StdDuration::from_millis(30));
+        assert_eq!(
+            try_claim_shard(&layout, 1, &me, StdDuration::from_millis(10)).unwrap(),
+            ClaimOutcome::Claimed,
+            "an expired lease is stolen"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -145,7 +145,7 @@ impl ExperimentSpec {
 
     /// Job identity (scenario, policy, seed) is only well defined when the
     /// axes hold no duplicates; the persisted-store paths key on it.
-    fn assert_distinct_axes(&self) {
+    pub(crate) fn assert_distinct_axes(&self) {
         for (i, &p) in self.policies.iter().enumerate() {
             assert!(
                 !self.policies[..i].contains(&p),
@@ -281,20 +281,7 @@ impl ExperimentSpec {
         let mut rounds = Vec::new();
         loop {
             let report = spec.run_with_store(store);
-            let worst_half_width = report
-                .cells
-                .iter()
-                .map(|cell| {
-                    let stats = cell.metric(&stop.metric).expect("validated metric name");
-                    if stats.count() < 2 {
-                        // One replicate carries no dispersion information:
-                        // never declare convergence on it.
-                        f64::INFINITY
-                    } else {
-                        stats.ci95_half_width()
-                    }
-                })
-                .fold(0.0, f64::max);
+            let worst_half_width = worst_ci_half_width(&report, &stop.metric);
             rounds.push(SequentialRound {
                 replicates: spec.seeds.len(),
                 worst_half_width,
@@ -314,6 +301,25 @@ impl ExperimentSpec {
     }
 }
 
+/// The largest per-cell 95 % CI half-width of `metric` across a report —
+/// the quantity sequential stopping drives to its target.  A cell with
+/// fewer than two usable replicates carries no dispersion information and
+/// reads as infinite, so convergence is never declared on it.
+pub(crate) fn worst_ci_half_width(report: &ExperimentReport, metric: &str) -> f64 {
+    report
+        .cells
+        .iter()
+        .map(|cell| {
+            let stats = cell.metric(metric).expect("validated metric name");
+            if stats.count() < 2 {
+                f64::INFINITY
+            } else {
+                stats.ci95_half_width()
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
 /// Configuration of a CI-driven sequential-stopping loop.
 #[derive(Debug, Clone)]
 pub struct SequentialStopping {
@@ -328,7 +334,7 @@ pub struct SequentialStopping {
 }
 
 impl SequentialStopping {
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(
             METRIC_NAMES.contains(&self.metric.as_str()),
             "unknown sequential-stopping metric `{}` (expected one of {METRIC_NAMES:?})",

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod distrib;
 pub mod events;
 pub mod experiment;
 pub mod node;
@@ -56,7 +57,11 @@ pub mod result;
 pub mod runner;
 pub mod sweep;
 
-pub use config::{ChurnConfig, ScenarioConfig, Topology, TrafficModel};
+pub use config::{ChurnConfig, ScenarioConfig, Topology, TrafficModel, TrafficProfile};
+pub use distrib::{
+    merge_grid_report, run_sequential_distributed, run_worker, DistribError, DistribOptions,
+    GridManifest, ProcessSpawner, ShardLayout, ThreadSpawner, WorkerConfig, WorkerSpawner,
+};
 pub use experiment::{
     run_configs, ExperimentCell, ExperimentJob, ExperimentReport, ExperimentSpec, ScenarioSpec,
     SequentialOutcome, SequentialRound, SequentialStopping,

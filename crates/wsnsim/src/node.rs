@@ -7,12 +7,14 @@ use caem_energy::battery::Battery;
 use caem_mac::sensor::SensorMac;
 use caem_phy::adaptation::ModeSelector;
 use caem_traffic::buffer::PacketBuffer;
+use caem_traffic::profile::{DiurnalCycle, ModulatedSource};
 use caem_traffic::source::{BurstySource, CbrSource, PoissonSource, TrafficSource};
 
-use crate::config::{ScenarioConfig, TrafficModel};
+use crate::config::{ScenarioConfig, TrafficModel, TrafficProfile};
 
 /// The traffic source variants a node can run (kept as an enum so nodes stay
-/// `Send` and allocation-free in the hot path).
+/// `Send` and allocation-free in the hot path; the diurnal wrapper boxes its
+/// base source once at deployment time, never per arrival).
 #[derive(Debug, Clone)]
 pub enum NodeTrafficSource {
     /// Poisson arrivals.
@@ -21,6 +23,8 @@ pub enum NodeTrafficSource {
     Cbr(CbrSource),
     /// Two-state bursty arrivals.
     Bursty(BurstySource),
+    /// Any of the above warped through a diurnal cycle.
+    Modulated(Box<ModulatedSource<NodeTrafficSource>>),
 }
 
 impl TrafficSource for NodeTrafficSource {
@@ -29,6 +33,7 @@ impl TrafficSource for NodeTrafficSource {
             NodeTrafficSource::Poisson(s) => s.next_arrival(now),
             NodeTrafficSource::Cbr(s) => s.next_arrival(now),
             NodeTrafficSource::Bursty(s) => s.next_arrival(now),
+            NodeTrafficSource::Modulated(s) => s.next_arrival(now),
         }
     }
 
@@ -37,6 +42,7 @@ impl TrafficSource for NodeTrafficSource {
             NodeTrafficSource::Poisson(s) => s.mean_rate(),
             NodeTrafficSource::Cbr(s) => s.mean_rate(),
             NodeTrafficSource::Bursty(s) => s.mean_rate(),
+            NodeTrafficSource::Modulated(s) => s.mean_rate(),
         }
     }
 }
@@ -121,9 +127,17 @@ pub fn build_policy(kind: PolicyKind, config: &ScenarioConfig) -> NodePolicy {
     }
 }
 
-/// Build the traffic source for a node from the scenario's traffic model.
-pub fn build_source(model: TrafficModel, rng: caem_simcore::rng::StreamRng) -> NodeTrafficSource {
-    match model {
+/// Build the traffic source for a node from the scenario's traffic model and
+/// time-of-day profile.  A [`TrafficProfile::Diurnal`] profile wraps the
+/// base source in a deterministic time warp; [`TrafficProfile::Constant`]
+/// returns the base source untouched, so the paper's stationary scenarios
+/// build bit-identical sources.
+pub fn build_source(
+    model: TrafficModel,
+    profile: TrafficProfile,
+    rng: caem_simcore::rng::StreamRng,
+) -> NodeTrafficSource {
+    let base = match model {
         TrafficModel::Poisson { rate_pps } => {
             NodeTrafficSource::Poisson(PoissonSource::new(rate_pps, rng))
         }
@@ -140,6 +154,16 @@ pub fn build_source(model: TrafficModel, rng: caem_simcore::rng::StreamRng) -> N
             mean_burst_s,
             rng,
         )),
+    };
+    match profile {
+        TrafficProfile::Constant => base,
+        TrafficProfile::Diurnal {
+            period_s,
+            relative_amplitude,
+        } => NodeTrafficSource::Modulated(Box::new(ModulatedSource::new(
+            base,
+            DiurnalCycle::trough_start(period_s, relative_amplitude),
+        ))),
     }
 }
 
@@ -228,8 +252,9 @@ mod tests {
     #[test]
     fn source_factory_builds_all_models() {
         let rng = || StreamRng::from_seed_u64(1);
-        let mut p = build_source(TrafficModel::Poisson { rate_pps: 5.0 }, rng());
-        let mut c = build_source(TrafficModel::Cbr { rate_pps: 5.0 }, rng());
+        let constant = TrafficProfile::Constant;
+        let mut p = build_source(TrafficModel::Poisson { rate_pps: 5.0 }, constant, rng());
+        let mut c = build_source(TrafficModel::Cbr { rate_pps: 5.0 }, constant, rng());
         let mut b = build_source(
             TrafficModel::Bursty {
                 quiet_rate_pps: 1.0,
@@ -237,6 +262,7 @@ mod tests {
                 mean_quiet_s: 5.0,
                 mean_burst_s: 1.0,
             },
+            constant,
             rng(),
         );
         for s in [&mut p, &mut c, &mut b] {
@@ -245,5 +271,28 @@ mod tests {
             assert!(s.mean_rate() > 0.0);
         }
         assert_eq!(c.mean_rate(), 5.0);
+    }
+
+    #[test]
+    fn diurnal_profile_wraps_the_base_source_and_keeps_its_mean_rate() {
+        let diurnal = TrafficProfile::Diurnal {
+            period_s: 300.0,
+            relative_amplitude: 0.7,
+        };
+        let warped = build_source(
+            TrafficModel::Poisson { rate_pps: 5.0 },
+            diurnal,
+            StreamRng::from_seed_u64(2),
+        );
+        assert!(matches!(warped, NodeTrafficSource::Modulated(_)));
+        assert_eq!(warped.mean_rate(), 5.0);
+        // A constant profile builds the bare source — the paper's scenarios
+        // take the exact pre-profile code path.
+        let plain = build_source(
+            TrafficModel::Poisson { rate_pps: 5.0 },
+            TrafficProfile::Constant,
+            StreamRng::from_seed_u64(2),
+        );
+        assert!(matches!(plain, NodeTrafficSource::Poisson(_)));
     }
 }

@@ -45,7 +45,7 @@ pub const STORE_VERSION: u64 = 1;
 pub type JobKey = (usize, usize, u64);
 
 /// FNV-1a 64-bit hash of a byte string.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;

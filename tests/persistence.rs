@@ -308,14 +308,16 @@ fn sequential_stopping_shrinks_terminates_and_is_deterministic() {
 }
 
 /// A hand-built result whose delay distribution lives entirely in the
-/// histogram's overflow region (delays beyond 10 s), plus optional zero
-/// deliveries — the cases where quantiles and ratio metrics are undefined.
+/// histogram's overflow region (delays beyond even the auto-resize growth
+/// cap), plus optional zero deliveries — the cases where quantiles and ratio
+/// metrics are undefined.
 fn overflow_result(deliveries: u64) -> SimulationResult {
     let mut perf = NetworkPerformance::new();
     perf.record_generated_n(deliveries + 5);
     for _ in 0..deliveries {
-        // 100 s delay: far beyond the 0–10 s histogram range.
-        perf.record_delivered(Duration::from_secs(100), 2_000);
+        // A week of delay: beyond the delay histogram's growth cap, so the
+        // observation is "unbounded" even to the auto-resizing bins.
+        perf.record_delivered(Duration::from_secs(604_800), 2_000);
     }
     perf.set_horizon(SimTime::from_secs(200));
     SimulationResult {
@@ -351,6 +353,19 @@ fn overflow_quantiles_and_undefined_ratios_round_trip_as_none() {
     let saturated = JobRecord::from_result("overflow", 0, job, &overflow_result(7));
     assert_eq!(saturated.delay_p50_ms, None);
     assert_eq!(saturated.delay_p99_ms, None);
+
+    // Merely-saturated delays (past 10 s but below the growth cap) stay
+    // quantifiable now that the delay histogram auto-resizes: a 100 s tail
+    // must persist as a value, not as None.
+    let mut merely_saturated = NetworkPerformance::new();
+    merely_saturated.record_generated_n(4);
+    for _ in 0..4 {
+        merely_saturated.record_delivered(Duration::from_secs(100), 2_000);
+    }
+    let p99 = merely_saturated
+        .delay_quantile_ms(0.99)
+        .expect("saturation p99 is reportable");
+    assert!((90_000.0..110_001.0).contains(&p99), "p99 {p99}");
 
     // Zero deliveries: quantiles empty *and* energy-per-packet undefined.
     let starved = JobRecord::from_result("overflow", 0, job, &overflow_result(0));

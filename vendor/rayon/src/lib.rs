@@ -161,6 +161,17 @@ pub fn peak_live_workers() -> usize {
     global_budget().peak()
 }
 
+/// An equal share of this process's thread budget for one of `parts`
+/// cooperating worker **processes** (at least 1 each): a coordinator that
+/// spawns `parts` children and exports `RAYON_TOTAL_THREADS=<share>` to each
+/// keeps the whole process *tree* within the budget a single process would
+/// use, extending the no-oversubscription guarantee across process
+/// boundaries.  Shares floor-divide, so `parts` that do not divide the cap
+/// leave slack rather than oversubscribe.
+pub fn split_thread_budget(parts: usize) -> usize {
+    (process_thread_cap() / parts.max(1)).max(1)
+}
+
 /// How many workers a single parallel call may request before the shared
 /// budget is consulted.
 fn per_call_budget(cap: usize) -> usize {
@@ -385,6 +396,21 @@ mod tests {
             "peak {} exceeded the budget cap",
             budget.peak()
         );
+    }
+
+    #[test]
+    fn split_thread_budget_floors_and_never_starves() {
+        let cap = process_thread_cap();
+        assert_eq!(split_thread_budget(1), cap);
+        assert_eq!(split_thread_budget(0), cap, "0 parts treated as 1");
+        let half = split_thread_budget(2);
+        assert!(half >= 1 && half <= cap.div_ceil(2));
+        // More parts than threads: every worker still gets one thread.
+        assert_eq!(split_thread_budget(cap * 8), 1);
+        // Shares never oversubscribe the cap.
+        for parts in 1..=8 {
+            assert!(split_thread_budget(parts) * parts <= cap.max(parts));
+        }
     }
 
     #[test]
