@@ -17,7 +17,7 @@
 //! ```
 
 use caem::policy::PolicyKind;
-use caem_bench::{apply_quick, quick_mode, seed_from_args};
+use caem_bench::{apply_quick, FigureArgs};
 use caem_energy::codec::CodecEnergyModel;
 use caem_mac::burst::BurstPolicy;
 use caem_simcore::time::Duration;
@@ -39,8 +39,7 @@ fn base_config(seed: u64, quick: bool) -> ScenarioConfig {
 }
 
 fn main() {
-    let seed = seed_from_args();
-    let quick = quick_mode();
+    let FigureArgs { seed, quick } = FigureArgs::from_env_or_exit("ablation");
 
     let ablations: Vec<Ablation> = vec![
         Ablation {

@@ -46,7 +46,10 @@ fn main() {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(1);
     });
-    cfg.validate();
+    if let Err(e) = cfg.validate() {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    }
     eprintln!(
         "running {:?} with {} nodes at {:.1} pkt/s for {} (seed {})",
         cfg.policy,

@@ -8,30 +8,31 @@
 //! (uniform / grid / Gaussian hotspots / corridor), heterogeneous initial
 //! batteries, random node churn and diurnal traffic cycles.
 //!
-//! Every completed job streams to a per-grid JSONL store, so grids are
-//! durable: `--resume` skips the jobs already on disk (an interrupted run
-//! loses only its in-flight jobs), `--reaggregate` rebuilds the report from
-//! the store alone without simulating anything, and `--target-ci <hw>`
-//! switches to sequential stopping — replicate batches are appended until
-//! the worst-cell 95 % CI half-width of `--ci-metric` (default
-//! `delivery_rate`) drops under the target or `--max-replicates` is hit.
+//! The grid definition comes from one of two equivalent front doors:
 //!
-//! `--workers N` runs the same grid **distributed**: the coordinator writes
-//! the job list as claimable shards under `--distrib-dir` (or the default
-//! `BENCH_experiment_distrib[_quick]/`), re-invokes this binary `N` times in
-//! `--worker-shard` mode with an equal share of the process thread budget
-//! each, and merges all per-worker JSONL shards into a report byte-identical
-//! to the single-process run — including after killing workers (their shards
-//! are stolen) or the coordinator itself (re-run with `--resume --workers N`
-//! to pick the grid back up).
+//! * the **code-defined zoo** (`caem_bench::zoo_scenarios`), or
+//! * a **declarative spec file** (`--spec specs/zoo.json`): a
+//!   `caem_wsnsim::spec::GridSpec` document that fully describes scenarios,
+//!   policies, seeds and sequential-stopping settings and resolves
+//!   deterministically into the same fully resolved configs — the committed
+//!   `specs/zoo.json` reproduces the code-defined zoo **byte-identically**
+//!   (fresh, resumed and distributed; CI diffs the artifacts).
+//!
+//! The command line is parsed into one structured
+//! [`caem_bench::ExperimentMode`] value — unknown or misspelled flags exit 2
+//! with the usage text, `--flag=value` and `--flag value` are equivalent,
+//! and contradictory combinations (e.g. `--reaggregate --workers`) are
+//! unrepresentable by construction.  Modes:
 //!
 //! ```bash
-//! cargo run -p caem-bench --release --bin experiment
-//! cargo run -p caem-bench --release --bin experiment -- --quick      # smoke run
-//! cargo run -p caem-bench --release --bin experiment -- --quick --resume
+//! cargo run -p caem-bench --release --bin experiment                        # run
+//! cargo run -p caem-bench --release --bin experiment -- --quick --resume    # resume
 //! cargo run -p caem-bench --release --bin experiment -- --quick --reaggregate
-//! cargo run -p caem-bench --release --bin experiment -- --target-ci 0.01
-//! cargo run -p caem-bench --release --bin experiment -- --quick --workers 3
+//! cargo run -p caem-bench --release --bin experiment -- --target-ci 0.01    # sequential
+//! cargo run -p caem-bench --release --bin experiment -- --quick --workers 3 # distributed
+//! cargo run -p caem-bench --release --bin experiment -- --spec specs/zoo.json --quick
+//! cargo run -p caem-bench --release --bin experiment -- --quick --list-scenarios
+//! cargo run -p caem-bench --release --bin experiment -- --quick --print-spec
 //! ```
 //!
 //! The full grid is written as JSON to `BENCH_experiment.json` at the
@@ -40,87 +41,142 @@
 
 use std::path::PathBuf;
 
-use caem::policy::PolicyKind;
+use caem_bench::cli::{RunArgs, RunBackend, SequentialArgs};
 use caem_bench::{
-    apply_quick, first_flag_violation, flag_value, has_flag, policy_label, quick_mode,
-    seed_from_args,
+    policy_label, zoo_replicates, zoo_scenarios, ExperimentCli, ExperimentMode, DEFAULT_SEED,
 };
-use caem_simcore::time::Duration;
 use caem_wsnsim::distrib::{
     run_sequential_distributed, run_worker, DistribOptions, ProcessSpawner, WorkerConfig,
 };
 use caem_wsnsim::experiment::{
-    ExperimentReport, ExperimentSpec, ScenarioSpec, SequentialOutcome, SequentialStopping,
-    METRIC_NAMES,
+    ExperimentReport, ExperimentSpec, SequentialOutcome, SequentialStopping, METRIC_NAMES,
 };
-use caem_wsnsim::persist::ExperimentStore;
-use caem_wsnsim::{ScenarioConfig, Topology};
+use caem_wsnsim::persist::{config_hash, ExperimentStore};
+use caem_wsnsim::spec::{GridSpec, ResolvedSpec};
 
-/// Flag pairs that contradict each other: acting on one would silently
-/// ignore the other, so the binary refuses the combination up front.
-const FLAG_CONFLICTS: &[(&str, &str)] = &[
-    ("--reaggregate", "--workers"),
-    ("--reaggregate", "--resume"),
-    ("--reaggregate", "--target-ci"),
-    ("--worker-shard", "--workers"),
-    ("--worker-shard", "--reaggregate"),
-    ("--worker-shard", "--resume"),
-    ("--worker-shard", "--target-ci"),
-    // Distributed records live in the shard directory's per-worker stores,
-    // never in the single-process store file.
-    ("--workers", "--store"),
-];
+const USAGE: &str = "\
+usage: experiment [seed] [--quick] [--spec <file>] [mode flags]
 
-/// Flags that are meaningless (and previously silently ignored) without
-/// their dependency.
-const FLAG_REQUIRES: &[(&str, &str)] = &[
-    ("--worker-shard", "--store"),
-    ("--distrib-dir", "--workers"),
-    ("--ci-metric", "--target-ci"),
-    ("--max-replicates", "--target-ci"),
-];
+grid definition:
+  [seed]                 positional base seed (default: the harness seed)
+  --quick                reduced smoke grid (fewer nodes, shorter horizon)
+  --spec <file>          load the grid from a declarative GridSpec document
+                         instead of the code-defined zoo
 
-fn scenarios(seed: u64, quick: bool) -> Vec<ScenarioSpec> {
-    let horizon = Duration::from_secs(if quick { 120 } else { 400 });
-    let base = |rate: f64| {
-        apply_quick(
-            ScenarioConfig::paper_default(PolicyKind::PureLeach, rate, seed),
-            quick,
-        )
-        .with_duration(horizon)
+modes (at most one selector; `run` is the default):
+  run                    simulate the grid and write the report
+    --resume             reuse records already in the store; only missing jobs run
+    --store <file>       custom JSONL store (single-process runs only)
+    --target-ci <hw>     sequential stopping: append replicate batches until the
+                         worst-cell 95% CI half-width of --ci-metric meets <hw>
+      --ci-metric <m>      driving metric (default delivery_rate)
+      --max-replicates <n> replicate cap (default 12 quick / 30 full)
+    --workers <n>        distributed: spawn n worker processes over a shard dir
+      --distrib-dir <dir>  shard directory (default BENCH_experiment_distrib*)
+  --reaggregate          rebuild the report offline from the JSONL store alone
+  --worker-shard <dir>   participate in a distributed grid (requires --store)
+  --list-scenarios       print scenario labels + config hashes; no simulation
+  --print-spec           dump the canonical resolved spec as JSON; no simulation
+
+Both `--flag value` and `--flag=value` work; unknown flags exit 2.";
+
+fn die(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+fn die_usage(message: String) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Everything the grid-driven modes share: the runnable spec, the fully
+/// resolved sequential-stopping rule the definition (spec file) carried —
+/// honoured even without `--target-ci`, so a committed `sequential` block
+/// is never silently dropped — and the initial replicate count.
+struct Grid {
+    spec: ExperimentSpec,
+    sequential: Option<SequentialStopping>,
+    replicates: usize,
+}
+
+/// Resolve the grid definition: a `--spec` document when given, the
+/// code-defined zoo otherwise.  Deterministic in (definition, seed, quick).
+fn load_grid(cli: &ExperimentCli) -> Grid {
+    let seed = cli.seed.unwrap_or(DEFAULT_SEED);
+    match &cli.spec {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(format!("cannot read spec file {path}: {e}")));
+            let doc = GridSpec::parse(&text).unwrap_or_else(|e| die(format!("{path}: {e}")));
+            let resolved = doc
+                .resolve(seed, cli.quick)
+                .unwrap_or_else(|e| die(format!("{path}: {e}")));
+            let replicates = resolved.spec.seeds.len();
+            Grid {
+                spec: resolved.spec,
+                // Already batch-defaulted and validated by resolve().
+                sequential: resolved.sequential,
+                replicates,
+            }
+        }
+        None => {
+            let replicates = zoo_replicates(cli.quick);
+            Grid {
+                spec: ExperimentSpec::paper_policies(
+                    zoo_scenarios(seed, cli.quick),
+                    seed,
+                    replicates,
+                ),
+                sequential: None,
+                replicates,
+            }
+        }
+    }
+}
+
+/// The sequential-stopping rule of a run: the spec file's resolved rule,
+/// with `--target-ci`/`--ci-metric`/`--max-replicates` layered on top when
+/// given, or `None` when neither source declares one.
+fn resolve_stopping(
+    grid: &Grid,
+    args: Option<&SequentialArgs>,
+    quick: bool,
+) -> Option<SequentialStopping> {
+    let stop = match (args, &grid.sequential) {
+        (None, None) => return None,
+        // Spec-declared sequential run, no CLI overrides: use it verbatim.
+        (None, Some(stop)) => stop.clone(),
+        // CLI overrides layered over the spec rule (or binary defaults).
+        (Some(args), base) => {
+            let stop = SequentialStopping {
+                metric: args
+                    .metric
+                    .clone()
+                    .or_else(|| base.as_ref().map(|s| s.metric.clone()))
+                    .unwrap_or_else(|| "delivery_rate".to_string()),
+                target_half_width: args.target_half_width,
+                batch: base.as_ref().map(|s| s.batch).unwrap_or(grid.replicates),
+                max_replicates: args
+                    .max_replicates
+                    .or_else(|| base.as_ref().map(|s| s.max_replicates))
+                    .unwrap_or(if quick { 12 } else { 30 }),
+            };
+            stop.validate().unwrap_or_else(|e| die(e.to_string()));
+            if stop.max_replicates < grid.replicates {
+                die(format!(
+                    "--max-replicates {} is below the initial batch of {} replicates",
+                    stop.max_replicates, grid.replicates
+                ));
+            }
+            stop
+        }
     };
-    vec![
-        ScenarioSpec::new("uniform_5pps", base(5.0)),
-        ScenarioSpec::new(
-            "grid_5pps",
-            base(5.0).with_topology(Topology::Grid { jitter_m: 3.0 }),
-        ),
-        ScenarioSpec::new(
-            "hotspots_10pps",
-            base(10.0).with_topology(Topology::GaussianClusters {
-                clusters: 4,
-                sigma_m: 12.0,
-            }),
-        ),
-        ScenarioSpec::new(
-            "corridor_10pps",
-            base(10.0).with_topology(Topology::Corridor {
-                width_fraction: 0.25,
-            }),
-        ),
-        ScenarioSpec::new(
-            "heterogeneous_churn_5pps",
-            base(5.0)
-                .with_energy_spread(0.4)
-                .with_churn_mttf_s(if quick { 1_200.0 } else { 4_000.0 }),
-        ),
-        // Time-varying load: two day/night cycles over the horizon, rate
-        // swinging between 0.2x and 1.8x the 10 pkt/s mean.
-        ScenarioSpec::new(
-            "diurnal_10pps",
-            base(10.0).with_diurnal_traffic(if quick { 60.0 } else { 200.0 }, 0.8),
-        ),
-    ]
+    println!(
+        "sequential stopping on `{}`: target 95% CI half-width {}, batches of {}, cap {} replicates",
+        stop.metric, stop.target_half_width, stop.batch, stop.max_replicates
+    );
+    Some(stop)
 }
 
 fn print_summary(spec: &ExperimentSpec, report: &ExperimentReport) {
@@ -207,18 +263,12 @@ fn print_sequential_outcome(outcome: &SequentialOutcome, metric: &str) {
     );
 }
 
-fn die(message: String) -> ! {
-    eprintln!("error: {message}");
-    std::process::exit(2);
-}
-
 /// `--worker-shard <dir>`: participate in a distributed grid until no shard
 /// is claimable, then exit.  Fully manifest-driven: the grid's scenarios,
 /// seeds and configs come from the shard directory, not from this process's
-/// other flags.
-fn worker_mode(dir: String) -> ! {
-    let store = flag_value("--store").expect("--worker-shard requires --store (validated above)");
-    let cfg = WorkerConfig::new(&dir, &store, format!("pid_{}", std::process::id()));
+/// other flags (the CLI rejects them in this mode).
+fn worker_mode(dir: &str, store: &str) -> ! {
+    let cfg = WorkerConfig::new(dir, store, format!("pid_{}", std::process::id()));
     match run_worker(&cfg) {
         Ok(outcome) => {
             println!(
@@ -234,182 +284,184 @@ fn worker_mode(dir: String) -> ! {
     }
 }
 
-fn main() {
-    if let Some(message) = first_flag_violation(&|f| has_flag(f), FLAG_CONFLICTS, FLAG_REQUIRES) {
-        die(message);
-    }
-    for flag in ["--workers", "--worker-shard", "--distrib-dir"] {
-        if has_flag(flag) && flag_value(flag).is_none() {
-            die(format!("{flag} requires a value"));
-        }
-    }
-    if let Some(dir) = flag_value("--worker-shard") {
-        worker_mode(dir);
-    }
-    let workers: Option<usize> = flag_value("--workers").map(|v| match v.parse() {
-        Ok(n) if n >= 1 => n,
-        _ => die(format!("--workers takes an integer >= 1 (got {v})")),
-    });
+/// Default artifact paths, anchored at the repository root.
+struct Paths {
+    store: &'static str,
+    distrib_dir: &'static str,
+    out: &'static str,
+}
 
-    let seed = seed_from_args();
-    let quick = quick_mode();
-    let replicates = if quick { 5 } else { 10 };
-
-    let (default_store, default_distrib_dir, out_path) = if quick {
-        (
-            concat!(
+fn default_paths(quick: bool) -> Paths {
+    if quick {
+        Paths {
+            store: concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/../../BENCH_experiment_store_quick.jsonl"
             ),
-            concat!(
+            distrib_dir: concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/../../BENCH_experiment_distrib_quick"
             ),
-            concat!(
+            out: concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/../../BENCH_experiment_quick.json"
             ),
-        )
+        }
     } else {
-        (
-            concat!(
+        Paths {
+            store: concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/../../BENCH_experiment_store.jsonl"
             ),
-            concat!(
+            distrib_dir: concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/../../BENCH_experiment_distrib"
             ),
-            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiment.json"),
-        )
-    };
-    let store_path = flag_value("--store").unwrap_or_else(|| default_store.to_string());
-
-    let spec = ExperimentSpec::paper_policies(scenarios(seed, quick), seed, replicates);
-
-    if has_flag("--reaggregate") {
-        // Offline path: rebuild the report purely from the JSONL store.
-        let store = ExperimentStore::load(&store_path).expect("load experiment store");
-        let report = store.rebuild_report();
-        println!(
-            "re-aggregated {} persisted jobs from {store_path} into {} cells (no simulation)",
-            store.len(),
-            report.cells.len()
-        );
-        print_summary(&spec, &report);
-        write_report(&report, out_path);
-        return;
+            out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiment.json"),
+        }
     }
+}
 
-    let sequential = has_flag("--target-ci");
-    let target_ci = sequential.then(|| {
-        // Fail loudly on `--target-ci` with the value forgotten — falling
-        // through to a plain run would wipe the store the user was growing.
-        flag_value("--target-ci")
-            .expect("--target-ci requires a value")
-            .parse::<f64>()
-            .expect("--target-ci takes a number")
-    });
-    let stop_for = |target: f64| {
-        let metric = flag_value("--ci-metric").unwrap_or_else(|| "delivery_rate".to_string());
-        let max_replicates = flag_value("--max-replicates")
-            .map(|v| v.parse().expect("--max-replicates takes an integer"))
-            .unwrap_or(if quick { 12 } else { 30 });
-        let stop = SequentialStopping {
-            metric,
-            target_half_width: target,
-            batch: replicates,
-            max_replicates,
-        };
-        println!(
-            "sequential stopping on `{}`: target 95% CI half-width {target}, batches of {}, cap {} replicates",
-            stop.metric, stop.batch, stop.max_replicates
-        );
-        stop
-    };
+fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
+    let spec = &grid.spec;
+    let sequential = resolve_stopping(&grid, args.sequential.as_ref(), cli.quick);
 
-    if let Some(n) = workers {
-        // Distributed path: shard the grid on disk, spawn N copies of this
-        // binary in --worker-shard mode, merge their JSONL shards.  Records
-        // live under the shard directory, not in the single-process store.
-        let custom_dir = flag_value("--distrib-dir");
-        let dir = PathBuf::from(
-            custom_dir
-                .clone()
-                .unwrap_or_else(|| default_distrib_dir.to_string()),
-        );
-        let opts = DistribOptions {
-            // Mirror the store semantics: a plain fixed-replicate run starts
-            // the *default* shard directory afresh.  Never wiped: --resume,
-            // an explicitly passed directory, and sequential-stopping runs
-            // (--target-ci exists to grow the persisted replicate pool, so a
-            // re-invocation must reuse the completed rounds).
-            fresh: !has_flag("--resume") && custom_dir.is_none() && !sequential,
-            ..DistribOptions::new(n)
-        };
-        let spawner = ProcessSpawner::current_exe(Vec::new())
-            .unwrap_or_else(|e| die(format!("cannot locate worker binary: {e}")));
-        println!(
-            "distributed experiment grid: {} scenarios x {} policies x {} seeds = {} jobs across {n} workers ({} rayon threads each), shard dir {}",
-            spec.scenarios.len(),
-            spec.policies.len(),
-            spec.seeds.len(),
-            spec.job_count(),
-            rayon::split_thread_budget(n),
-            dir.display(),
-        );
-        let report = match target_ci {
-            Some(target) => {
-                let stop = stop_for(target);
-                let outcome = run_sequential_distributed(&spec, &dir, &opts, &spawner, &stop)
-                    .unwrap_or_else(|e| die(format!("distributed sequential run failed: {e}")));
-                print_sequential_outcome(&outcome, &stop.metric);
-                outcome.report
+    let report = match &args.backend {
+        RunBackend::Distributed { workers, dir } => {
+            let n = *workers;
+            let dir_path =
+                PathBuf::from(dir.clone().unwrap_or_else(|| paths.distrib_dir.to_string()));
+            let opts = DistribOptions {
+                // Mirror the store semantics: a plain fixed-replicate run
+                // starts the *default* shard directory afresh.  Never wiped:
+                // --resume, an explicitly passed directory, and
+                // sequential-stopping runs (--target-ci exists to grow the
+                // persisted replicate pool, so a re-invocation must reuse
+                // the completed rounds).
+                fresh: !args.resume && dir.is_none() && sequential.is_none(),
+                ..DistribOptions::new(n)
+            };
+            let spawner = ProcessSpawner::current_exe(Vec::new())
+                .unwrap_or_else(|e| die(format!("cannot locate worker binary: {e}")));
+            println!(
+                "distributed experiment grid: {} scenarios x {} policies x {} seeds = {} jobs across {n} workers ({} rayon threads each), shard dir {}",
+                spec.scenarios.len(),
+                spec.policies.len(),
+                spec.seeds.len(),
+                spec.job_count(),
+                rayon::split_thread_budget(n),
+                dir_path.display(),
+            );
+            match &sequential {
+                Some(stop) => {
+                    let outcome =
+                        run_sequential_distributed(spec, &dir_path, &opts, &spawner, stop)
+                            .unwrap_or_else(|e| {
+                                die(format!("distributed sequential run failed: {e}"))
+                            });
+                    print_sequential_outcome(&outcome, &stop.metric);
+                    outcome.report
+                }
+                None => spec
+                    .run_distributed(&dir_path, &opts, &spawner)
+                    .unwrap_or_else(|e| die(format!("distributed run failed: {e}"))),
             }
-            None => spec
-                .run_distributed(&dir, &opts, &spawner)
-                .unwrap_or_else(|e| die(format!("distributed run failed: {e}"))),
-        };
-        print_summary(&spec, &report);
-        write_report(&report, out_path);
-        return;
-    }
-
-    let custom_store = flag_value("--store").is_some();
-    if !has_flag("--resume") && !sequential && !custom_store {
-        // A plain fixed-replicate run starts a fresh copy of the binary's
-        // *default* store (still streaming every record).  Never deleted:
-        // an explicitly passed `--store` file (reused instead — wiping a
-        // store the user pointed at would destroy their accumulated grid),
-        // and sequential-stopping stores (`--target-ci` exists to grow the
-        // persisted replicate pool).
-        std::fs::remove_file(&store_path).ok();
-    }
-    let mut store = ExperimentStore::open(&store_path).expect("open experiment store");
-    let preexisting = store.len();
-    println!(
-        "experiment grid: {} scenarios x {} policies x {} seeds = {} jobs (single parallel layer, {} on disk)",
-        spec.scenarios.len(),
-        spec.policies.len(),
-        spec.seeds.len(),
-        spec.job_count(),
-        preexisting,
-    );
-
-    let report = if let Some(target) = target_ci {
-        let stop = stop_for(target);
-        let outcome = spec.run_sequential(&mut store, &stop);
-        print_sequential_outcome(&outcome, &stop.metric);
-        outcome.report
-    } else {
-        spec.run_with_store(&mut store)
+        }
+        RunBackend::Local { store } => {
+            let store_path = store.clone().unwrap_or_else(|| paths.store.to_string());
+            if !args.resume && sequential.is_none() && store.is_none() {
+                // A plain fixed-replicate run starts a fresh copy of the
+                // binary's *default* store (still streaming every record).
+                // Never deleted: an explicitly passed `--store` file (reused
+                // instead — wiping a store the user pointed at would destroy
+                // their accumulated grid), and sequential-stopping stores
+                // (`--target-ci` exists to grow the persisted replicate
+                // pool).
+                std::fs::remove_file(&store_path).ok();
+            }
+            let mut store = ExperimentStore::open(&store_path).expect("open experiment store");
+            let preexisting = store.len();
+            println!(
+                "experiment grid: {} scenarios x {} policies x {} seeds = {} jobs (single parallel layer, {} on disk)",
+                spec.scenarios.len(),
+                spec.policies.len(),
+                spec.seeds.len(),
+                spec.job_count(),
+                preexisting,
+            );
+            let report = match &sequential {
+                Some(stop) => {
+                    let outcome = spec.run_sequential(&mut store, stop);
+                    print_sequential_outcome(&outcome, &stop.metric);
+                    outcome.report
+                }
+                None => spec.run_with_store(&mut store),
+            };
+            println!(
+                "store {store_path}: {} jobs persisted ({} simulated this run, including stale re-runs)",
+                store.len(),
+                store.appended(),
+            );
+            report
+        }
     };
-    println!(
-        "store {store_path}: {} jobs persisted ({} simulated this run, including stale re-runs)",
-        store.len(),
-        store.appended(),
-    );
 
-    print_summary(&spec, &report);
-    write_report(&report, out_path);
+    print_summary(spec, &report);
+    write_report(&report, paths.out);
+}
+
+fn main() {
+    let cli = ExperimentCli::from_env().unwrap_or_else(|e| die_usage(e.to_string()));
+    if let ExperimentMode::Worker { dir, store } = &cli.mode {
+        // Workers are manifest-driven; no grid resolution happens here.
+        worker_mode(dir, store);
+    }
+    let paths = default_paths(cli.quick);
+    let grid = load_grid(&cli);
+
+    match &cli.mode {
+        ExperimentMode::Worker { .. } => unreachable!("handled above"),
+        ExperimentMode::ListScenarios => {
+            // Introspection: the resolved grid, no simulation, no stores.
+            println!(
+                "{} scenarios x {} policies x {} seeds = {} jobs",
+                grid.spec.scenarios.len(),
+                grid.spec.policies.len(),
+                grid.spec.seeds.len(),
+                grid.spec.job_count()
+            );
+            println!("{:<28} {:>16}", "scenario", "config_hash");
+            for scenario in &grid.spec.scenarios {
+                println!(
+                    "{:<28} {:>16x}",
+                    scenario.label,
+                    config_hash(&scenario.base)
+                );
+            }
+        }
+        ExperimentMode::PrintSpec => {
+            // The canonical resolved spec: what a remote spawner would ship,
+            // and what CI diffs between spec-file and code-defined runs.
+            let resolved = ResolvedSpec::of(&grid.spec);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&resolved.to_json())
+                    .expect("resolved spec serializes")
+            );
+        }
+        ExperimentMode::Reaggregate { store } => {
+            // Offline path: rebuild the report purely from the JSONL store.
+            let store_path = store.clone().unwrap_or_else(|| paths.store.to_string());
+            let store = ExperimentStore::load(&store_path).expect("load experiment store");
+            let report = store.rebuild_report();
+            println!(
+                "re-aggregated {} persisted jobs from {store_path} into {} cells (no simulation)",
+                store.len(),
+                report.cells.len()
+            );
+            print_summary(&grid.spec, &report);
+            write_report(&report, paths.out);
+        }
+        ExperimentMode::Run(args) => run_mode(&cli, args, grid, &paths),
+    }
 }

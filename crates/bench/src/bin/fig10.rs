@@ -10,15 +10,14 @@
 //! cargo run -p caem-bench --release --bin fig10
 //! ```
 
-use caem_bench::{apply_quick, emit, policy_label, quick_mode, seed_from_args};
+use caem_bench::{apply_quick, emit, policy_label, FigureArgs};
 use caem_metrics::report::{Column, Table};
 use caem_simcore::time::Duration;
 use caem_wsnsim::sweep::{load_sweep, PAPER_POLICIES};
 use caem_wsnsim::ScenarioConfig;
 
 fn main() {
-    let seed = seed_from_args();
-    let quick = quick_mode();
+    let FigureArgs { seed, quick } = FigureArgs::from_env_or_exit("fig10");
     let loads: Vec<f64> = if quick {
         vec![5.0, 15.0]
     } else {

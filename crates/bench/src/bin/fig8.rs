@@ -8,14 +8,13 @@
 //! cargo run -p caem-bench --release --bin fig8
 //! ```
 
-use caem_bench::{apply_quick, emit, policy_label, quick_mode, seed_from_args};
+use caem_bench::{apply_quick, emit, policy_label, FigureArgs};
 use caem_metrics::report::{Column, Table};
 use caem_wsnsim::sweep::{compare_policies, PAPER_POLICIES};
 use caem_wsnsim::ScenarioConfig;
 
 fn main() {
-    let seed = seed_from_args();
-    let quick = quick_mode();
+    let FigureArgs { seed, quick } = FigureArgs::from_env_or_exit("fig8");
     let comparison = compare_policies(|policy| {
         apply_quick(ScenarioConfig::paper_default(policy, 5.0, seed), quick)
     });

@@ -9,15 +9,14 @@
 //! cargo run -p caem-bench --release --bin fig9
 //! ```
 
-use caem_bench::{apply_quick, emit, policy_label, quick_mode, seed_from_args};
+use caem_bench::{apply_quick, emit, policy_label, FigureArgs};
 use caem_metrics::report::{Column, Table};
 use caem_simcore::time::Duration;
 use caem_wsnsim::sweep::{compare_policies, PAPER_POLICIES};
 use caem_wsnsim::ScenarioConfig;
 
 fn main() {
-    let seed = seed_from_args();
-    let quick = quick_mode();
+    let FigureArgs { seed, quick } = FigureArgs::from_env_or_exit("fig9");
     let horizon_s: u64 = if quick { 300 } else { 2_500 };
     let comparison = compare_policies(|policy| {
         apply_quick(

@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use caem_bench::{apply_quick, emit, policy_label, quick_mode, seed_from_args};
+use caem_bench::{apply_quick, emit, policy_label, FigureArgs};
 use caem_metrics::report::{Column, Table};
 use caem_simcore::time::Duration;
 use caem_wsnsim::experiment::{ExperimentSpec, ScenarioSpec};
@@ -37,8 +37,7 @@ struct ScenarioTiming {
 }
 
 fn main() {
-    let seed = seed_from_args();
-    let quick = quick_mode();
+    let FigureArgs { seed, quick } = FigureArgs::from_env_or_exit("netperf");
     let loads: Vec<f64> = if quick {
         vec![5.0, 15.0]
     } else {

@@ -1,0 +1,806 @@
+//! Structured command-line parsing for the bench binaries.
+//!
+//! The `experiment` binary used to probe `std::env::args` with ad-hoc
+//! `has_flag`/`flag_value` lookups guarded by an O(n²) pairwise conflict
+//! table — misspelled flags were silently ignored and every new flag meant
+//! auditing every pair.  This module replaces that with a two-layer parser:
+//!
+//! 1. A **lexer** ([`ParsedArgs::lex`]) that knows the full flag vocabulary
+//!    of a binary: unknown flags, missing values, duplicate flags and stray
+//!    positionals are typed [`CliError`]s (exit 2 with a usage message at
+//!    the binary boundary).  Both `--flag value` and `--flag=value` work.
+//! 2. A **mode builder** ([`ExperimentCli::from_args`]) that folds the
+//!    lexed flags into one [`ExperimentMode`] value.  Invalid combinations
+//!    are unrepresentable by construction — `Reaggregate` simply has no
+//!    `workers` field, a distributed run has no `store` field — so the old
+//!    conflict table is replaced by the shape of the types, and every
+//!    remaining cross-flag rule is a typed error naming both flags.
+
+use std::fmt;
+
+/// A typed command-line error.  `Display` renders the message the binaries
+/// print (followed by their usage text) before exiting 2.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// A flag outside the binary's vocabulary (misspelled flags land here
+    /// instead of being silently ignored).
+    UnknownFlag(String),
+    /// A value-taking flag with its value missing.
+    MissingValue(&'static str),
+    /// A boolean flag given an `=value`.
+    UnexpectedValue(&'static str),
+    /// The same flag given twice.
+    DuplicateFlag(&'static str),
+    /// A flag value that does not parse as what the flag takes.
+    InvalidValue {
+        /// The flag.
+        flag: &'static str,
+        /// The rejected text.
+        value: String,
+        /// What the flag takes.
+        expected: &'static str,
+    },
+    /// A positional argument the binary does not accept.
+    UnexpectedPositional(String),
+    /// Two flags that each select a mode.
+    ModeConflict(&'static str, &'static str),
+    /// A flag that is meaningless in the selected mode (its effect would be
+    /// silently ignored).
+    NotInMode {
+        /// The rejected flag.
+        flag: &'static str,
+        /// The mode selected by the rest of the command line.
+        mode: &'static str,
+    },
+    /// A flag missing the companion that gives it meaning.
+    Requires {
+        /// The given flag.
+        flag: &'static str,
+        /// The companion it needs.
+        requires: &'static str,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            CliError::UnexpectedValue(flag) => write!(f, "{flag} takes no value"),
+            CliError::DuplicateFlag(flag) => write!(f, "{flag} given more than once"),
+            CliError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "{flag} takes {expected} (got `{value}`)"),
+            CliError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument `{arg}`")
+            }
+            CliError::ModeConflict(a, b) => {
+                write!(f, "{a} and {b} select different modes; pass one")
+            }
+            CliError::NotInMode { flag, mode } => {
+                write!(f, "{flag} has no effect in {mode} mode")
+            }
+            CliError::Requires { flag, requires } => {
+                write!(f, "{flag} requires {requires}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// One flag a binary understands.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagDef {
+    /// The flag, including the leading `--`.
+    pub name: &'static str,
+    /// Whether the flag consumes a value (`--flag value` / `--flag=value`).
+    pub takes_value: bool,
+}
+
+/// Declare a boolean flag.
+pub const fn flag(name: &'static str) -> FlagDef {
+    FlagDef {
+        name,
+        takes_value: false,
+    }
+}
+
+/// Declare a value-taking flag.
+pub const fn option(name: &'static str) -> FlagDef {
+    FlagDef {
+        name,
+        takes_value: true,
+    }
+}
+
+/// The lexed command line: every flag resolved against the binary's
+/// vocabulary, plus the bare positionals.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    values: Vec<(&'static str, Option<String>)>,
+    /// Positional (non-flag) arguments, in order.
+    pub positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Lex `args` (without the program name) against `vocabulary`.
+    ///
+    /// `--flag=value` and `--flag value` are equivalent; `--` ends flag
+    /// processing (everything after is positional).  Unknown flags,
+    /// duplicate flags, missing or unexpected values are typed errors —
+    /// nothing is ignored.
+    pub fn lex<I>(args: I, vocabulary: &[FlagDef]) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut parsed = ParsedArgs::default();
+        let mut args = args.into_iter();
+        let mut flags_done = false;
+        while let Some(arg) = args.next() {
+            if flags_done || !arg.starts_with("--") {
+                parsed.positionals.push(arg);
+                continue;
+            }
+            if arg == "--" {
+                flags_done = true;
+                continue;
+            }
+            let (name, inline_value) = match arg.split_once('=') {
+                Some((name, value)) => (name.to_string(), Some(value.to_string())),
+                None => (arg, None),
+            };
+            let def = vocabulary
+                .iter()
+                .find(|d| d.name == name)
+                .ok_or(CliError::UnknownFlag(name.clone()))?;
+            if parsed.values.iter().any(|(n, _)| *n == def.name) {
+                return Err(CliError::DuplicateFlag(def.name));
+            }
+            let value = match (def.takes_value, inline_value) {
+                (false, None) => None,
+                (false, Some(_)) => return Err(CliError::UnexpectedValue(def.name)),
+                (true, Some(v)) => Some(v),
+                (true, None) => {
+                    // The next argument is the value — but another flag is
+                    // not a value (catches `--store --resume`).
+                    match args.next() {
+                        Some(v) if !v.starts_with("--") => Some(v),
+                        _ => return Err(CliError::MissingValue(def.name)),
+                    }
+                }
+            };
+            parsed.values.push((def.name, value));
+        }
+        Ok(parsed)
+    }
+
+    /// Whether a flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.values.iter().any(|(n, _)| *n == name)
+    }
+
+    /// The raw value of a value-taking flag, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Parse a flag's value, mapping a parse failure to
+    /// [`CliError::InvalidValue`].
+    pub fn parsed<T: std::str::FromStr>(
+        &self,
+        name: &'static str,
+        expected: &'static str,
+    ) -> Result<Option<T>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(text) => text.parse().map(Some).map_err(|_| CliError::InvalidValue {
+                flag: name,
+                value: text.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The experiment binary's structured command line.
+// ---------------------------------------------------------------------------
+
+/// The `experiment` binary's full flag vocabulary.
+pub const EXPERIMENT_FLAGS: &[FlagDef] = &[
+    flag("--quick"),
+    flag("--resume"),
+    flag("--reaggregate"),
+    flag("--list-scenarios"),
+    flag("--print-spec"),
+    option("--spec"),
+    option("--store"),
+    option("--workers"),
+    option("--distrib-dir"),
+    option("--worker-shard"),
+    option("--target-ci"),
+    option("--ci-metric"),
+    option("--max-replicates"),
+];
+
+/// Where a (non-distributed or distributed) grid run executes and persists.
+/// A local run may point at a custom store; a distributed run's records live
+/// in per-worker stores under the shard directory — there is **no** `store`
+/// field to misuse, so `--workers --store` cannot even be represented.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunBackend {
+    /// Single process, one JSONL store.
+    Local {
+        /// Custom store path (`None` = the binary's default store).
+        store: Option<String>,
+    },
+    /// Multi-process via the shard directory.
+    Distributed {
+        /// Worker processes to spawn (≥ 1).
+        workers: usize,
+        /// Shard directory (`None` = the binary's default).
+        dir: Option<String>,
+    },
+}
+
+/// CI-driven sequential stopping, selected by `--target-ci`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialArgs {
+    /// Target worst-cell 95 % CI half-width.
+    pub target_half_width: f64,
+    /// Driving metric (`None` = the spec's, else the binary default).
+    pub metric: Option<String>,
+    /// Replicate cap (`None` = the spec's, else the binary default).
+    pub max_replicates: Option<usize>,
+}
+
+/// A grid-executing invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Reuse persisted records instead of starting the default store afresh.
+    pub resume: bool,
+    /// Where the grid executes.
+    pub backend: RunBackend,
+    /// Sequential stopping, if `--target-ci` was given.
+    pub sequential: Option<SequentialArgs>,
+}
+
+/// The mutually exclusive modes of the `experiment` binary.  One value of
+/// this enum is the whole story of an invocation: a mode carries exactly
+/// the data meaningful to it, so contradictory flag combinations have no
+/// representation and the old pairwise conflict table is gone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentMode {
+    /// Simulate the grid (fresh, resumed, sequential and/or distributed).
+    Run(RunArgs),
+    /// Rebuild the report offline from a JSONL store; simulates nothing.
+    Reaggregate {
+        /// Custom store path (`None` = the binary's default store).
+        store: Option<String>,
+    },
+    /// Participate in a distributed grid as a worker process.
+    Worker {
+        /// The shard directory (must hold a manifest).
+        dir: String,
+        /// This worker's own JSONL store.
+        store: String,
+    },
+    /// Print the grid's scenario labels and config hashes; simulates nothing.
+    ListScenarios,
+    /// Dump the canonical resolved spec as JSON; simulates nothing.
+    PrintSpec,
+}
+
+impl ExperimentMode {
+    fn name(&self) -> &'static str {
+        match self {
+            ExperimentMode::Run(args) => match (&args.backend, &args.sequential) {
+                (RunBackend::Distributed { .. }, _) => "distributed",
+                (_, Some(_)) => "sequential",
+                (_, None) if args.resume => "resume",
+                _ => "run",
+            },
+            ExperimentMode::Reaggregate { .. } => "reaggregate",
+            ExperimentMode::Worker { .. } => "worker",
+            ExperimentMode::ListScenarios => "list-scenarios",
+            ExperimentMode::PrintSpec => "print-spec",
+        }
+    }
+}
+
+/// The `experiment` binary's parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentCli {
+    /// Positional seed override (`None` = the harness default).
+    pub seed: Option<u64>,
+    /// Reduced smoke grid.
+    pub quick: bool,
+    /// Grid definition file (`None` = the code-defined zoo).
+    pub spec: Option<String>,
+    /// What this invocation does.
+    pub mode: ExperimentMode,
+}
+
+impl ExperimentCli {
+    /// Parse the process command line (skipping the program name).
+    pub fn from_env() -> Result<Self, CliError> {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (testable entry point).
+    pub fn from_args<I>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let parsed = ParsedArgs::lex(args, EXPERIMENT_FLAGS)?;
+        let mut positionals = parsed.positionals.iter();
+        let seed = match positionals.next() {
+            None => None,
+            Some(text) => Some(text.parse().map_err(|_| CliError::InvalidValue {
+                flag: "<seed>",
+                value: text.clone(),
+                expected: "an unsigned integer seed",
+            })?),
+        };
+        if let Some(extra) = positionals.next() {
+            return Err(CliError::UnexpectedPositional(extra.clone()));
+        }
+
+        // Exactly one mode selector may be present.
+        let selectors: [(&'static str, bool); 4] = [
+            ("--reaggregate", parsed.has("--reaggregate")),
+            ("--worker-shard", parsed.has("--worker-shard")),
+            ("--list-scenarios", parsed.has("--list-scenarios")),
+            ("--print-spec", parsed.has("--print-spec")),
+        ];
+        let mut selected: Option<&'static str> = None;
+        for (name, present) in selectors {
+            if present {
+                if let Some(earlier) = selected {
+                    return Err(CliError::ModeConflict(earlier, name));
+                }
+                selected = Some(name);
+            }
+        }
+
+        let mode = match selected {
+            Some("--worker-shard") => {
+                if let Some(extra) = parsed.positionals.first() {
+                    // Workers are manifest-driven: a positional seed would
+                    // be silently ignored, so reject it like the flags below.
+                    return Err(CliError::UnexpectedPositional(extra.clone()));
+                }
+                let dir = parsed
+                    .value("--worker-shard")
+                    .expect("lexer enforced the value")
+                    .to_string();
+                let store = parsed
+                    .value("--store")
+                    .ok_or(CliError::Requires {
+                        flag: "--worker-shard",
+                        requires: "--store",
+                    })?
+                    .to_string();
+                // A worker is entirely manifest-driven: any grid- or
+                // run-shaping flag would be silently ignored, so reject all.
+                reject_all(
+                    &parsed,
+                    "worker",
+                    &[
+                        "--resume",
+                        "--workers",
+                        "--distrib-dir",
+                        "--target-ci",
+                        "--ci-metric",
+                        "--max-replicates",
+                        "--quick",
+                        "--spec",
+                    ],
+                )?;
+                ExperimentMode::Worker { dir, store }
+            }
+            Some("--reaggregate") => {
+                reject_all(
+                    &parsed,
+                    "reaggregate",
+                    &[
+                        "--resume",
+                        "--workers",
+                        "--distrib-dir",
+                        "--target-ci",
+                        "--ci-metric",
+                        "--max-replicates",
+                    ],
+                )?;
+                ExperimentMode::Reaggregate {
+                    store: parsed.value("--store").map(str::to_string),
+                }
+            }
+            Some(introspect @ ("--list-scenarios" | "--print-spec")) => {
+                let mode_name = if introspect == "--list-scenarios" {
+                    "list-scenarios"
+                } else {
+                    "print-spec"
+                };
+                reject_all(
+                    &parsed,
+                    mode_name,
+                    &[
+                        "--resume",
+                        "--store",
+                        "--workers",
+                        "--distrib-dir",
+                        "--target-ci",
+                        "--ci-metric",
+                        "--max-replicates",
+                    ],
+                )?;
+                if introspect == "--list-scenarios" {
+                    ExperimentMode::ListScenarios
+                } else {
+                    ExperimentMode::PrintSpec
+                }
+            }
+            _ => {
+                let sequential = match parsed.parsed::<f64>("--target-ci", "a number")? {
+                    Some(target_half_width) => Some(SequentialArgs {
+                        target_half_width,
+                        metric: parsed.value("--ci-metric").map(str::to_string),
+                        max_replicates: parsed
+                            .parsed("--max-replicates", "an integer >= 1")?
+                            .map(require_at_least_one("--max-replicates"))
+                            .transpose()?,
+                    }),
+                    None => {
+                        for dependent in ["--ci-metric", "--max-replicates"] {
+                            if parsed.has(dependent) {
+                                return Err(CliError::Requires {
+                                    flag: dependent,
+                                    requires: "--target-ci",
+                                });
+                            }
+                        }
+                        None
+                    }
+                };
+                let backend = match parsed.parsed::<usize>("--workers", "an integer >= 1")? {
+                    Some(workers) => {
+                        let workers = require_at_least_one("--workers")(workers)?;
+                        if parsed.has("--store") {
+                            // Distributed records live in per-worker stores
+                            // under the shard directory; a single-process
+                            // store path would be silently ignored.
+                            return Err(CliError::NotInMode {
+                                flag: "--store",
+                                mode: "distributed",
+                            });
+                        }
+                        RunBackend::Distributed {
+                            workers,
+                            dir: parsed.value("--distrib-dir").map(str::to_string),
+                        }
+                    }
+                    None => {
+                        if parsed.has("--distrib-dir") {
+                            return Err(CliError::Requires {
+                                flag: "--distrib-dir",
+                                requires: "--workers",
+                            });
+                        }
+                        RunBackend::Local {
+                            store: parsed.value("--store").map(str::to_string),
+                        }
+                    }
+                };
+                ExperimentMode::Run(RunArgs {
+                    resume: parsed.has("--resume"),
+                    backend,
+                    sequential,
+                })
+            }
+        };
+        Ok(ExperimentCli {
+            seed,
+            quick: parsed.has("--quick"),
+            spec: parsed.value("--spec").map(str::to_string),
+            mode,
+        })
+    }
+
+    /// The mode's short name (as printed in usage and error messages).
+    pub fn mode_name(&self) -> &'static str {
+        self.mode.name()
+    }
+}
+
+/// Reject every flag of `flags` that is present, naming the selected mode.
+fn reject_all(
+    parsed: &ParsedArgs,
+    mode: &'static str,
+    flags: &[&'static str],
+) -> Result<(), CliError> {
+    for &name in flags {
+        if parsed.has(name) {
+            return Err(CliError::NotInMode { flag: name, mode });
+        }
+    }
+    Ok(())
+}
+
+/// Validator for count flags that must be ≥ 1.
+fn require_at_least_one(flag: &'static str) -> impl Fn(usize) -> Result<usize, CliError> {
+    move |n| {
+        if n >= 1 {
+            Ok(n)
+        } else {
+            Err(CliError::InvalidValue {
+                flag,
+                value: "0".to_string(),
+                expected: "an integer >= 1",
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure binaries: positional seed + --quick, nothing else.
+// ---------------------------------------------------------------------------
+
+/// The figure/netperf/ablation binaries' command line: an optional
+/// positional seed and `--quick`.  Anything else — in particular a
+/// misspelled flag — is a typed error instead of being silently ignored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigureArgs {
+    /// The seed (defaults to [`crate::DEFAULT_SEED`]).
+    pub seed: u64,
+    /// Reduced smoke scenario.
+    pub quick: bool,
+}
+
+impl FigureArgs {
+    /// Parse an explicit argument list (testable entry point).
+    pub fn from_args<I>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let parsed = ParsedArgs::lex(args, &[flag("--quick")])?;
+        let mut positionals = parsed.positionals.iter();
+        let seed = match positionals.next() {
+            None => crate::DEFAULT_SEED,
+            Some(text) => text.parse().map_err(|_| CliError::InvalidValue {
+                flag: "<seed>",
+                value: text.clone(),
+                expected: "an unsigned integer seed",
+            })?,
+        };
+        if let Some(extra) = positionals.next() {
+            return Err(CliError::UnexpectedPositional(extra.clone()));
+        }
+        Ok(FigureArgs {
+            seed,
+            quick: parsed.has("--quick"),
+        })
+    }
+
+    /// Parse the process command line, printing the error plus a usage line
+    /// and exiting 2 on a mistake.
+    pub fn from_env_or_exit(binary: &str) -> Self {
+        Self::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}\nusage: {binary} [seed] [--quick]");
+            std::process::exit(2);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parse(list: &[&str]) -> Result<ExperimentCli, CliError> {
+        ExperimentCli::from_args(args(list))
+    }
+
+    #[test]
+    fn plain_run_parses_to_local_backend() {
+        let cli = parse(&["--quick"]).unwrap();
+        assert!(cli.quick);
+        assert_eq!(cli.seed, None);
+        assert_eq!(
+            cli.mode,
+            ExperimentMode::Run(RunArgs {
+                resume: false,
+                backend: RunBackend::Local { store: None },
+                sequential: None,
+            })
+        );
+        assert_eq!(cli.mode_name(), "run");
+    }
+
+    #[test]
+    fn equals_and_space_forms_are_equivalent() {
+        let a = parse(&["--workers", "3", "--distrib-dir", "/tmp/g"]).unwrap();
+        let b = parse(&["--workers=3", "--distrib-dir=/tmp/g"]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.mode_name(), "distributed");
+        match a.mode {
+            ExperimentMode::Run(run) => assert_eq!(
+                run.backend,
+                RunBackend::Distributed {
+                    workers: 3,
+                    dir: Some("/tmp/g".to_string())
+                }
+            ),
+            other => panic!("expected run mode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_and_misspelled_flags_are_rejected() {
+        assert_eq!(
+            parse(&["--quik"]),
+            Err(CliError::UnknownFlag("--quik".to_string()))
+        );
+        assert_eq!(
+            parse(&["--replicats=4"]),
+            Err(CliError::UnknownFlag("--replicats".to_string()))
+        );
+    }
+
+    #[test]
+    fn a_following_flag_is_not_a_value() {
+        assert_eq!(
+            parse(&["--store", "--resume"]),
+            Err(CliError::MissingValue("--store"))
+        );
+    }
+
+    #[test]
+    fn contradictory_combinations_are_typed_errors() {
+        assert_eq!(
+            parse(&["--reaggregate", "--workers", "2"]),
+            Err(CliError::NotInMode {
+                flag: "--workers",
+                mode: "reaggregate"
+            })
+        );
+        assert_eq!(
+            parse(&["--workers", "2", "--store", "s.jsonl"]),
+            Err(CliError::NotInMode {
+                flag: "--store",
+                mode: "distributed"
+            })
+        );
+        assert_eq!(
+            parse(&["--worker-shard", "/tmp/g"]),
+            Err(CliError::Requires {
+                flag: "--worker-shard",
+                requires: "--store"
+            })
+        );
+        assert_eq!(
+            parse(&["--distrib-dir", "/tmp/g"]),
+            Err(CliError::Requires {
+                flag: "--distrib-dir",
+                requires: "--workers"
+            })
+        );
+        assert_eq!(
+            parse(&["--ci-metric", "collisions"]),
+            Err(CliError::Requires {
+                flag: "--ci-metric",
+                requires: "--target-ci"
+            })
+        );
+        assert_eq!(
+            parse(&["--reaggregate", "--print-spec"]),
+            Err(CliError::ModeConflict("--reaggregate", "--print-spec"))
+        );
+    }
+
+    #[test]
+    fn worker_mode_rejects_grid_shaping_flags() {
+        let cli = parse(&["--worker-shard", "/tmp/g", "--store", "w.jsonl"]).unwrap();
+        assert_eq!(
+            cli.mode,
+            ExperimentMode::Worker {
+                dir: "/tmp/g".to_string(),
+                store: "w.jsonl".to_string()
+            }
+        );
+        assert_eq!(
+            parse(&["--worker-shard", "/tmp/g", "--store", "w.jsonl", "--quick"]),
+            Err(CliError::NotInMode {
+                flag: "--quick",
+                mode: "worker"
+            })
+        );
+        // A positional seed would be silently ignored by a manifest-driven
+        // worker, so it is rejected like the flags.
+        assert_eq!(
+            parse(&["999", "--worker-shard", "/tmp/g", "--store", "w.jsonl"]),
+            Err(CliError::UnexpectedPositional("999".to_string()))
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_an_invalid_value() {
+        assert_eq!(
+            parse(&["--workers", "0"]),
+            Err(CliError::InvalidValue {
+                flag: "--workers",
+                value: "0".to_string(),
+                expected: "an integer >= 1"
+            })
+        );
+    }
+
+    #[test]
+    fn sequential_run_collects_its_knobs() {
+        let cli = parse(&[
+            "--target-ci=0.01",
+            "--ci-metric",
+            "collisions",
+            "--max-replicates=24",
+            "--resume",
+        ])
+        .unwrap();
+        match cli.mode {
+            ExperimentMode::Run(run) => {
+                assert!(run.resume);
+                assert_eq!(
+                    run.sequential,
+                    Some(SequentialArgs {
+                        target_half_width: 0.01,
+                        metric: Some("collisions".to_string()),
+                        max_replicates: Some(24),
+                    })
+                );
+            }
+            other => panic!("expected run mode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positional_seed_and_spec_file_parse() {
+        let cli = parse(&["12345", "--spec", "specs/zoo.json"]).unwrap();
+        assert_eq!(cli.seed, Some(12345));
+        assert_eq!(cli.spec.as_deref(), Some("specs/zoo.json"));
+        assert_eq!(
+            parse(&["12345", "extra"]),
+            Err(CliError::UnexpectedPositional("extra".to_string()))
+        );
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        assert_eq!(
+            parse(&["--quick", "--quick"]),
+            Err(CliError::DuplicateFlag("--quick"))
+        );
+    }
+
+    #[test]
+    fn figure_args_parse_seed_and_quick_only() {
+        let fa = FigureArgs::from_args(args(&["777", "--quick"])).unwrap();
+        assert_eq!(fa.seed, 777);
+        assert!(fa.quick);
+        assert_eq!(
+            FigureArgs::from_args(args(&[])).unwrap().seed,
+            crate::DEFAULT_SEED
+        );
+        assert_eq!(
+            FigureArgs::from_args(args(&["--resume"])),
+            Err(CliError::UnknownFlag("--resume".to_string()))
+        );
+    }
+}

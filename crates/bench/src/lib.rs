@@ -18,7 +18,13 @@
 
 use caem::policy::PolicyKind;
 use caem_metrics::report::Table;
-use caem_wsnsim::ScenarioConfig;
+use caem_simcore::time::Duration;
+use caem_wsnsim::experiment::ScenarioSpec;
+use caem_wsnsim::{ScenarioConfig, Topology};
+
+pub mod cli;
+
+pub use cli::{ExperimentCli, ExperimentMode, FigureArgs};
 
 /// The seed used by all figures unless overridden on the command line.
 pub const DEFAULT_SEED: u64 = 20050612;
@@ -33,80 +39,6 @@ pub fn policy_label(policy: PolicyKind) -> &'static str {
     }
 }
 
-/// Parse the optional seed argument given to a figure binary.
-pub fn seed_from_args() -> u64 {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
-
-/// True when the given `--flag` is present on the command line, either
-/// bare (`--flag`, `--flag value`) or in equals form (`--flag=value`) —
-/// both shapes [`flag_value`] accepts must count as "present", otherwise a
-/// presence check and a value lookup for the same flag could disagree.
-pub fn has_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name || (a.starts_with(name) && a[name.len()..].starts_with('=')))
-}
-
-/// The value of a `--flag value` or `--flag=value` command-line option.
-///
-/// A following `--other` flag is **not** treated as the value (so
-/// `--store --resume` reads as `--store` with its value missing, not as a
-/// store file literally named `--resume`); callers that require a value
-/// should `expect` it so the mistake fails loudly.
-pub fn flag_value(name: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == name {
-            return args.next().filter(|v| !v.starts_with("--"));
-        }
-        if let Some(rest) = arg.strip_prefix(name) {
-            if let Some(value) = rest.strip_prefix('=') {
-                return Some(value.to_string());
-            }
-        }
-    }
-    None
-}
-
-/// The first violated flag rule, as a ready-to-print error message, or
-/// `None` when the combination is coherent.
-///
-/// * `conflicts` — pairs that must not appear together (checked both ways).
-/// * `requires` — `(flag, dependency)` pairs: `flag` is rejected unless its
-///   `dependency` is also present.
-///
-/// `present` reports whether a flag was given; pure so binaries can feed it
-/// from `has_flag` while tests feed it from a fixture.  Binaries call this
-/// **before** acting on any flag, so a contradictory command line fails
-/// loudly instead of silently ignoring one of the flags.
-pub fn first_flag_violation(
-    present: &dyn Fn(&str) -> bool,
-    conflicts: &[(&str, &str)],
-    requires: &[(&str, &str)],
-) -> Option<String> {
-    for &(a, b) in conflicts {
-        if present(a) && present(b) {
-            return Some(format!(
-                "{a} and {b} contradict each other; pass one or the other"
-            ));
-        }
-    }
-    for &(flag, dependency) in requires {
-        if present(flag) && !present(dependency) {
-            return Some(format!("{flag} requires {dependency}"));
-        }
-    }
-    None
-}
-
-/// Parse an optional `--quick` flag: figure binaries then run a reduced
-/// scenario (fewer nodes, shorter horizon) so smoke tests stay fast.
-pub fn quick_mode() -> bool {
-    has_flag("--quick")
-}
-
 /// Shrink a scenario for `--quick` runs.
 pub fn apply_quick(mut cfg: ScenarioConfig, quick: bool) -> ScenarioConfig {
     if quick {
@@ -114,6 +46,66 @@ pub fn apply_quick(mut cfg: ScenarioConfig, quick: bool) -> ScenarioConfig {
         cfg.duration = caem_simcore::time::Duration::from_secs(120);
     }
     cfg
+}
+
+/// The code-defined scenario zoo the `experiment` binary runs when no
+/// `--spec` file is given: the diversity grid over deployments,
+/// heterogeneous batteries, churn and diurnal traffic.
+///
+/// The committed `specs/zoo.json` must resolve to exactly these scenarios
+/// (`tests/spec_roundtrip.rs` pins config-hash equality in both full and
+/// quick mode), so the declarative and the code-built grid are
+/// interchangeable byte-for-byte.
+pub fn zoo_scenarios(seed: u64, quick: bool) -> Vec<ScenarioSpec> {
+    let horizon = Duration::from_secs(if quick { 120 } else { 400 });
+    let base = |rate: f64| {
+        apply_quick(
+            ScenarioConfig::paper_default(PolicyKind::PureLeach, rate, seed),
+            quick,
+        )
+        .with_duration(horizon)
+    };
+    vec![
+        ScenarioSpec::new("uniform_5pps", base(5.0)),
+        ScenarioSpec::new(
+            "grid_5pps",
+            base(5.0).with_topology(Topology::Grid { jitter_m: 3.0 }),
+        ),
+        ScenarioSpec::new(
+            "hotspots_10pps",
+            base(10.0).with_topology(Topology::GaussianClusters {
+                clusters: 4,
+                sigma_m: 12.0,
+            }),
+        ),
+        ScenarioSpec::new(
+            "corridor_10pps",
+            base(10.0).with_topology(Topology::Corridor {
+                width_fraction: 0.25,
+            }),
+        ),
+        ScenarioSpec::new(
+            "heterogeneous_churn_5pps",
+            base(5.0)
+                .with_energy_spread(0.4)
+                .with_churn_mttf_s(if quick { 1_200.0 } else { 4_000.0 }),
+        ),
+        // Time-varying load: two day/night cycles over the horizon, rate
+        // swinging between 0.2x and 1.8x the 10 pkt/s mean.
+        ScenarioSpec::new(
+            "diurnal_10pps",
+            base(10.0).with_diurnal_traffic(if quick { 60.0 } else { 200.0 }, 0.8),
+        ),
+    ]
+}
+
+/// The number of replicates the zoo grid runs per cell.
+pub fn zoo_replicates(quick: bool) -> usize {
+    if quick {
+        5
+    } else {
+        10
+    }
 }
 
 /// Print a table in all three formats the harness emits.
@@ -139,41 +131,17 @@ mod tests {
     }
 
     #[test]
-    fn flag_violations_are_detected_in_declaration_order() {
-        let conflicts = [
-            ("--reaggregate", "--workers"),
-            ("--worker-shard", "--workers"),
-        ];
-        let requires = [
-            ("--worker-shard", "--store"),
-            ("--distrib-dir", "--workers"),
-        ];
-        let given = |flags: &'static [&'static str]| move |name: &str| flags.contains(&name);
-        assert_eq!(
-            first_flag_violation(&given(&["--workers"]), &conflicts, &requires),
-            None
-        );
-        let msg = first_flag_violation(
-            &given(&["--reaggregate", "--workers"]),
-            &conflicts,
-            &requires,
-        )
-        .expect("conflict detected");
-        assert!(msg.contains("--reaggregate") && msg.contains("--workers"));
-        let msg = first_flag_violation(&given(&["--worker-shard"]), &conflicts, &requires)
-            .expect("missing dependency detected");
-        assert!(msg.contains("requires --store"));
-        assert_eq!(
-            first_flag_violation(
-                &given(&["--worker-shard", "--store"]),
-                &conflicts,
-                &requires
-            ),
-            None
-        );
-        let msg = first_flag_violation(&given(&["--distrib-dir"]), &conflicts, &requires)
-            .expect("dangling --distrib-dir detected");
-        assert!(msg.contains("requires --workers"));
+    fn zoo_scenarios_are_distinctly_labelled_in_both_modes() {
+        for quick in [false, true] {
+            let zoo = zoo_scenarios(DEFAULT_SEED, quick);
+            assert_eq!(zoo.len(), 6);
+            let labels: std::collections::HashSet<_> =
+                zoo.iter().map(|s| s.label.clone()).collect();
+            assert_eq!(labels.len(), zoo.len(), "labels must be unique");
+            for s in &zoo {
+                s.base.validate().expect("zoo scenarios are valid");
+            }
+        }
     }
 
     #[test]

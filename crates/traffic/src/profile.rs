@@ -33,21 +33,58 @@ pub struct DiurnalCycle {
     phase_rad: f64,
 }
 
+/// Why a [`DiurnalCycle`] could not be constructed: the offending parameter
+/// plus its value, so config layers can map it onto their own typed errors
+/// instead of parsing a panic message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProfileError {
+    /// The cycle period was zero or negative.
+    NonPositivePeriod(f64),
+    /// The relative amplitude fell outside `[0, 1)` (the rate would touch
+    /// or cross zero).
+    AmplitudeOutOfRange(f64),
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::NonPositivePeriod(p) => {
+                write!(f, "diurnal period must be positive (got {p})")
+            }
+            ProfileError::AmplitudeOutOfRange(a) => write!(
+                f,
+                "relative amplitude must be in [0, 1) so the rate stays positive (got {a})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 impl DiurnalCycle {
     /// Create a cycle with the given period (seconds), relative amplitude in
-    /// `[0, 1)` and phase offset (radians).  A phase of `-π/2` starts the
+    /// `[0, 1)` and phase offset (radians), returning a typed
+    /// [`ProfileError`] on a bad parameter.  A phase of `-π/2` starts the
     /// cycle at its trough ("midnight") and peaks at `T/2` ("noon").
-    pub fn new(period_s: f64, amplitude: f64, phase_rad: f64) -> Self {
-        assert!(period_s > 0.0, "diurnal period must be positive");
-        assert!(
-            (0.0..1.0).contains(&amplitude),
-            "relative amplitude must be in [0, 1) so the rate stays positive"
-        );
-        DiurnalCycle {
+    pub fn try_new(period_s: f64, amplitude: f64, phase_rad: f64) -> Result<Self, ProfileError> {
+        if period_s.is_nan() || period_s <= 0.0 {
+            return Err(ProfileError::NonPositivePeriod(period_s));
+        }
+        if !(0.0..1.0).contains(&amplitude) {
+            return Err(ProfileError::AmplitudeOutOfRange(amplitude));
+        }
+        Ok(DiurnalCycle {
             period_s,
             amplitude,
             phase_rad,
-        }
+        })
+    }
+
+    /// [`DiurnalCycle::try_new`] for pre-validated parameters; panics with
+    /// the [`ProfileError`] message on a bad one.
+    pub fn new(period_s: f64, amplitude: f64, phase_rad: f64) -> Self {
+        Self::try_new(period_s, amplitude, phase_rad)
+            .unwrap_or_else(|e| panic!("invalid diurnal cycle: {e}"))
     }
 
     /// A cycle that starts at its trough and peaks half a period later —

@@ -18,6 +18,195 @@ use caem_simcore::rng::StreamRng;
 use caem_simcore::time::Duration;
 use serde::{Deserialize, Serialize};
 
+/// A typed configuration error, carrying the path of the offending field.
+///
+/// Every variant names the field (as a dotted path into the serialized
+/// configuration or spec document, with `[i]` indices into arrays) plus the
+/// data needed to explain the violation, so CLIs can surface the error
+/// verbatim and tests can assert on the *class* of mistake instead of
+/// matching prose.  The first group of variants covers value-domain errors
+/// ([`ScenarioConfig::validate`]); the second covers structural errors in
+/// declarative spec documents ([`crate::spec::GridSpec`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A value that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Dotted field path.
+        path: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value that must be non-negative was negative.
+    Negative {
+        /// Dotted field path.
+        path: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value outside its legal interval.
+    OutOfRange {
+        /// Dotted field path.
+        path: String,
+        /// The offending value.
+        value: f64,
+        /// The legal interval, in mathematical notation (e.g. `(0, 1]`).
+        expected: &'static str,
+    },
+    /// A spec-document field no schema element matches (misspelled or
+    /// unsupported) — never silently ignored.
+    UnknownField {
+        /// Dotted field path of the unknown key.
+        path: String,
+    },
+    /// A required spec-document field is missing.
+    MissingField {
+        /// Dotted field path of the missing key.
+        path: String,
+    },
+    /// A spec-document field holds the wrong JSON type.
+    WrongType {
+        /// Dotted field path.
+        path: String,
+        /// What the schema expects there (e.g. `"number"`, `"object"`).
+        expected: &'static str,
+    },
+    /// An enumerated spec-document string matches no known variant.
+    UnknownVariant {
+        /// Dotted field path.
+        path: String,
+        /// The unrecognised value.
+        value: String,
+        /// The accepted variant names.
+        expected: &'static [&'static str],
+    },
+    /// Two spec-document fields that cannot be given together (conflicting
+    /// axes, e.g. `replicates` *and* an explicit `seeds` list).
+    ConflictingFields {
+        /// Dotted path of the field kept.
+        path: String,
+        /// Dotted path of the field it conflicts with.
+        other: String,
+    },
+    /// An axis that must hold distinct entries holds a duplicate.
+    DuplicateEntry {
+        /// Dotted field path of the axis.
+        path: String,
+        /// The duplicated entry, rendered as text.
+        value: String,
+    },
+    /// An axis that must be non-empty is empty.
+    EmptyAxis {
+        /// Dotted field path of the axis.
+        path: String,
+    },
+    /// The spec document declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Dotted field path of the version marker.
+        path: String,
+        /// The version the document declares.
+        found: u64,
+        /// The version this build supports.
+        supported: u64,
+    },
+    /// A value-domain error inside the configuration one spec scenario
+    /// resolves to, wrapped with the scenario's label for context.
+    InScenario {
+        /// The scenario's label.
+        label: String,
+        /// The underlying error (paths are into the resolved config).
+        source: Box<ConfigError>,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositive { path, value } => {
+                write!(f, "`{path}` must be positive (got {value})")
+            }
+            ConfigError::Negative { path, value } => {
+                write!(f, "`{path}` must be non-negative (got {value})")
+            }
+            ConfigError::OutOfRange {
+                path,
+                value,
+                expected,
+            } => write!(f, "`{path}` must be in {expected} (got {value})"),
+            ConfigError::UnknownField { path } => write!(f, "unknown field `{path}`"),
+            ConfigError::MissingField { path } => write!(f, "missing required field `{path}`"),
+            ConfigError::WrongType { path, expected } => {
+                write!(f, "`{path}` must be a {expected}")
+            }
+            ConfigError::UnknownVariant {
+                path,
+                value,
+                expected,
+            } => write!(
+                f,
+                "`{path}` has unknown value `{value}` (expected one of {expected:?})"
+            ),
+            ConfigError::ConflictingFields { path, other } => {
+                write!(
+                    f,
+                    "`{path}` conflicts with `{other}`; give one or the other"
+                )
+            }
+            ConfigError::DuplicateEntry { path, value } => {
+                write!(f, "`{path}` holds duplicate entry {value}")
+            }
+            ConfigError::EmptyAxis { path } => write!(f, "`{path}` must not be empty"),
+            ConfigError::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "`{path}` declares version {found} (this build reads version {supported})"
+            ),
+            ConfigError::InScenario { label, source } => {
+                write!(f, "scenario `{label}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    /// Wrap a value-domain error with the label of the scenario whose
+    /// resolved configuration it was found in.
+    pub fn in_scenario(self, label: &str) -> Self {
+        ConfigError::InScenario {
+            label: label.to_string(),
+            source: Box::new(self),
+        }
+    }
+}
+
+/// `Ok(())` when `value > 0`, else [`ConfigError::NonPositive`] at `path`.
+fn require_positive(path: &str, value: f64) -> Result<(), ConfigError> {
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NonPositive {
+            path: path.to_string(),
+            value,
+        })
+    }
+}
+
+/// `Ok(())` when `value >= 0`, else [`ConfigError::Negative`] at `path`.
+fn require_non_negative(path: &str, value: f64) -> Result<(), ConfigError> {
+    if value >= 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::Negative {
+            path: path.to_string(),
+            value,
+        })
+    }
+}
+
 /// Which traffic model each sensor runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TrafficModel {
@@ -362,64 +551,84 @@ impl ScenarioConfig {
         peak + peak / 4
     }
 
-    /// Sanity-check the configuration, panicking with a descriptive message
-    /// on nonsensical values.  Called by the runner.
-    pub fn validate(&self) {
-        assert!(self.node_count > 0, "node_count must be positive");
-        assert!(
-            self.initial_energy_j > 0.0,
-            "initial energy must be positive"
-        );
-        assert!(
-            self.traffic.mean_rate_pps() > 0.0,
-            "traffic rate must be positive"
-        );
+    /// Sanity-check the configuration.  Never panics: every violation is
+    /// returned as a typed [`ConfigError`] carrying the offending field's
+    /// path, so CLIs surface it verbatim and callers can match on the class
+    /// of mistake.  The runner validates (and panics on `Err`, since by then
+    /// the configuration should have been checked) before deploying.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_positive("node_count", self.node_count as f64)?;
+        require_positive("initial_energy_j", self.initial_energy_j)?;
+        require_positive("traffic.mean_rate_pps", self.traffic.mean_rate_pps())?;
         if let TrafficProfile::Diurnal {
             period_s,
             relative_amplitude,
         } = self.traffic_profile
         {
-            assert!(period_s > 0.0, "diurnal period must be positive");
-            assert!(
-                (0.0..1.0).contains(&relative_amplitude),
-                "diurnal amplitude must be in [0, 1) so the rate stays positive"
-            );
+            require_positive("traffic_profile.period_s", period_s)?;
+            if !(0.0..1.0).contains(&relative_amplitude) {
+                return Err(ConfigError::OutOfRange {
+                    path: "traffic_profile.relative_amplitude".to_string(),
+                    value: relative_amplitude,
+                    expected: "[0, 1)",
+                });
+            }
         }
-        assert!(
-            self.ch_probability > 0.0 && self.ch_probability <= 1.0,
-            "CH probability must be in (0, 1]"
-        );
-        assert!(!self.duration.is_zero(), "duration must be positive");
-        assert!(
-            (0.0..1.0).contains(&self.initial_energy_spread),
-            "initial energy spread must be in [0, 1) so every node starts positive"
-        );
+        if !(self.ch_probability > 0.0 && self.ch_probability <= 1.0) {
+            return Err(ConfigError::OutOfRange {
+                path: "ch_probability".to_string(),
+                value: self.ch_probability,
+                expected: "(0, 1]",
+            });
+        }
+        if self.duration.is_zero() {
+            return Err(ConfigError::NonPositive {
+                path: "duration".to_string(),
+                value: 0.0,
+            });
+        }
+        if !(0.0..1.0).contains(&self.initial_energy_spread) {
+            return Err(ConfigError::OutOfRange {
+                path: "initial_energy_spread".to_string(),
+                value: self.initial_energy_spread,
+                expected: "[0, 1)",
+            });
+        }
         if let Some(churn) = &self.churn {
-            assert!(
-                churn.mean_time_to_failure_s > 0.0,
-                "churn mean time to failure must be positive"
-            );
+            require_positive("churn.mean_time_to_failure_s", churn.mean_time_to_failure_s)?;
         }
         match self.topology {
             Topology::Uniform => {}
             Topology::Grid { jitter_m } => {
-                assert!(jitter_m >= 0.0, "grid jitter must be non-negative");
+                require_non_negative("topology.jitter_m", jitter_m)?;
             }
             Topology::GaussianClusters { clusters, sigma_m } => {
-                assert!(clusters > 0, "need at least one hotspot cluster");
-                assert!(sigma_m >= 0.0, "cluster sigma must be non-negative");
+                require_positive("topology.clusters", clusters as f64)?;
+                require_non_negative("topology.sigma_m", sigma_m)?;
             }
             Topology::Corridor { width_fraction } => {
-                assert!(
-                    width_fraction > 0.0 && width_fraction <= 1.0,
-                    "corridor width fraction must be in (0, 1]"
-                );
+                if !(width_fraction > 0.0 && width_fraction <= 1.0) {
+                    return Err(ConfigError::OutOfRange {
+                        path: "topology.width_fraction".to_string(),
+                        value: width_fraction,
+                        expected: "(0, 1]",
+                    });
+                }
             }
         }
-        assert!(
-            !self.energy_snapshot_interval.is_zero() && !self.fairness_snapshot_interval.is_zero(),
-            "snapshot intervals must be positive"
-        );
+        if self.energy_snapshot_interval.is_zero() {
+            return Err(ConfigError::NonPositive {
+                path: "energy_snapshot_interval".to_string(),
+                value: 0.0,
+            });
+        }
+        if self.fairness_snapshot_interval.is_zero() {
+            return Err(ConfigError::NonPositive {
+                path: "fairness_snapshot_interval".to_string(),
+                value: 0.0,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -439,7 +648,7 @@ mod tests {
         assert_eq!(cfg.backoff.contention_window, 10);
         assert_eq!(cfg.sensing_delay, Duration::from_millis(8));
         assert_eq!(cfg.traffic.mean_rate_pps(), 5.0);
-        cfg.validate();
+        cfg.validate().expect("Table II config is valid");
     }
 
     #[test]
@@ -454,7 +663,7 @@ mod tests {
         assert_eq!(cfg.traffic.mean_rate_pps(), 12.0);
         assert_eq!(cfg.buffer_capacity, None);
         assert_eq!(cfg.seed, 99);
-        cfg.validate();
+        cfg.validate().expect("builder output is valid");
     }
 
     #[test]
@@ -491,11 +700,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_nodes_fails_validation() {
+    fn zero_nodes_fails_validation_with_a_field_path() {
         let mut cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
         cfg.node_count = 0;
-        cfg.validate();
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::NonPositive {
+                path: "node_count".to_string(),
+                value: 0.0
+            })
+        );
     }
 
     #[test]
@@ -517,7 +731,7 @@ mod tests {
                 mean_time_to_failure_s: 900.0
             })
         );
-        cfg.validate();
+        cfg.validate().expect("diverse config is valid");
     }
 
     #[test]
@@ -570,28 +784,65 @@ mod tests {
             }
         );
         assert_eq!(cfg.traffic.mean_rate_pps(), 5.0, "mean load unchanged");
-        cfg.validate();
+        cfg.validate().expect("diurnal config is valid");
         let json = serde_json::to_string(&cfg).expect("serialize");
         let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back.traffic_profile, cfg.traffic_profile);
     }
 
     #[test]
-    #[should_panic]
     fn diurnal_amplitude_of_one_fails_validation() {
         let mut cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
         cfg.traffic_profile = TrafficProfile::Diurnal {
             period_s: 600.0,
             relative_amplitude: 1.0,
         };
-        cfg.validate();
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange {
+                path: "traffic_profile.relative_amplitude".to_string(),
+                value: 1.0,
+                expected: "[0, 1)"
+            })
+        );
     }
 
     #[test]
-    #[should_panic]
     fn energy_spread_of_one_fails_validation() {
         let mut cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
         cfg.initial_energy_spread = 1.0;
-        cfg.validate();
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange {
+                path: "initial_energy_spread".to_string(),
+                value: 1.0,
+                expected: "[0, 1)"
+            })
+        );
+    }
+
+    #[test]
+    fn config_error_display_carries_the_field_path_verbatim() {
+        let e = ConfigError::OutOfRange {
+            path: "ch_probability".to_string(),
+            value: 1.5,
+            expected: "(0, 1]",
+        };
+        assert_eq!(
+            e.to_string(),
+            "`ch_probability` must be in (0, 1] (got 1.5)"
+        );
+        let wrapped = e.in_scenario("grid_5pps");
+        assert_eq!(
+            wrapped.to_string(),
+            "scenario `grid_5pps`: `ch_probability` must be in (0, 1] (got 1.5)"
+        );
+        assert_eq!(
+            ConfigError::UnknownField {
+                path: "scenarios[2].chrun_mttf_s".to_string()
+            }
+            .to_string(),
+            "unknown field `scenarios[2].chrun_mttf_s`"
+        );
     }
 }

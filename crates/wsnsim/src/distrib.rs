@@ -273,6 +273,12 @@ pub struct GridManifest {
 impl GridManifest {
     /// Build the manifest a spec enumerates to, partitioned into
     /// `shard_count` shards.
+    ///
+    /// Jobs, config hashes and the grid identity are all derived from the
+    /// **canonical resolved spec** — the same fully resolved
+    /// [`ScenarioConfig`]s `--print-spec` dumps and the persistence layer
+    /// hashes — so a grid defined by a committed spec file and the
+    /// identical code-built grid produce interchangeable manifests.
     pub fn from_spec(spec: &ExperimentSpec, shard_count: usize) -> Self {
         assert!(shard_count >= 1, "need at least one shard");
         let jobs: Vec<ManifestJob> = spec
@@ -347,6 +353,27 @@ impl GridManifest {
             ));
         }
         Ok(manifest)
+    }
+
+    /// Reconstruct the canonical resolved spec this manifest was derived
+    /// from — what a worker on another machine can dump to verify the grid
+    /// definition it received matches the coordinator's `--print-spec`.
+    pub fn resolved_spec(&self) -> crate::spec::ResolvedSpec {
+        let mut scenarios: Vec<(String, u64, ScenarioConfig)> = Vec::new();
+        let mut policies = Vec::new();
+        for job in &self.jobs {
+            if !scenarios.iter().any(|(label, _, _)| *label == job.scenario) {
+                scenarios.push((job.scenario.clone(), job.config_hash, job.config.clone()));
+            }
+            if !policies.contains(&job.policy) {
+                policies.push(job.policy);
+            }
+        }
+        crate::spec::ResolvedSpec {
+            scenarios,
+            policies,
+            seeds: self.seeds.clone(),
+        }
     }
 
     /// Validity lookup for merged records: job key → (config hash, label).
@@ -952,7 +979,8 @@ pub fn run_sequential_distributed<S: WorkerSpawner>(
     spawner: &S,
     stop: &SequentialStopping,
 ) -> Result<SequentialOutcome, DistribError> {
-    stop.validate();
+    stop.validate()
+        .unwrap_or_else(|e| panic!("invalid sequential-stopping configuration: {e}"));
     assert!(
         !spec.seeds.is_empty(),
         "sequential stopping needs a non-empty initial seed batch"

@@ -36,7 +36,7 @@ use caem_simcore::stats::RunningStats;
 use rayon::prelude::*;
 use serde_json::{json, Value};
 
-use crate::config::ScenarioConfig;
+use crate::config::{ConfigError, ScenarioConfig};
 use crate::persist::{config_hash, ExperimentStore, JobRecord};
 use crate::result::SimulationResult;
 use crate::runner::SimulationRun;
@@ -266,7 +266,8 @@ impl ExperimentSpec {
         store: &mut ExperimentStore,
         stop: &SequentialStopping,
     ) -> SequentialOutcome {
-        stop.validate();
+        stop.validate()
+            .unwrap_or_else(|e| panic!("invalid sequential-stopping configuration: {e}"));
         assert!(
             !self.seeds.is_empty(),
             "sequential stopping needs a non-empty initial seed batch"
@@ -334,21 +335,36 @@ pub struct SequentialStopping {
 }
 
 impl SequentialStopping {
-    pub(crate) fn validate(&self) {
-        assert!(
-            METRIC_NAMES.contains(&self.metric.as_str()),
-            "unknown sequential-stopping metric `{}` (expected one of {METRIC_NAMES:?})",
-            self.metric
-        );
-        assert!(self.batch >= 1, "batch must add at least one replicate");
-        assert!(
-            self.target_half_width >= 0.0,
-            "target half-width must be non-negative"
-        );
-        assert!(
-            self.max_replicates >= 1,
-            "replicate cap must be at least one"
-        );
+    /// Check the stopping rule, returning a typed [`ConfigError`] (with
+    /// `sequential.*` field paths) instead of panicking, so CLI- and
+    /// spec-driven rules surface mistakes verbatim.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !METRIC_NAMES.contains(&self.metric.as_str()) {
+            return Err(ConfigError::UnknownVariant {
+                path: "sequential.metric".to_string(),
+                value: self.metric.clone(),
+                expected: &METRIC_NAMES,
+            });
+        }
+        if self.batch < 1 {
+            return Err(ConfigError::NonPositive {
+                path: "sequential.batch".to_string(),
+                value: 0.0,
+            });
+        }
+        if self.target_half_width < 0.0 {
+            return Err(ConfigError::Negative {
+                path: "sequential.target_half_width".to_string(),
+                value: self.target_half_width,
+            });
+        }
+        if self.max_replicates < 1 {
+            return Err(ConfigError::NonPositive {
+                path: "sequential.max_replicates".to_string(),
+                value: 0.0,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -32,6 +32,13 @@
 //! [`config::ScenarioConfig::initial_energy_spread`] (heterogeneous
 //! batteries) and [`config::ChurnConfig`] (random node-failure injection).
 //!
+//! Grids can be defined **declaratively**: a [`spec::GridSpec`] document
+//! (JSON, strict parsing with typed field-path [`config::ConfigError`]s)
+//! fully describes scenarios, policies, seeds and sequential-stopping
+//! settings, and resolves deterministically into an
+//! [`experiment::ExperimentSpec`] — the committed `specs/zoo.json`
+//! reproduces the `experiment` binary's code-defined zoo byte-for-byte.
+//!
 //! ## Simplifications (documented substitutions)
 //!
 //! * Tone pulses are not simulated individually; a monitoring sensor samples
@@ -55,9 +62,12 @@ pub mod node;
 pub mod persist;
 pub mod result;
 pub mod runner;
+pub mod spec;
 pub mod sweep;
 
-pub use config::{ChurnConfig, ScenarioConfig, Topology, TrafficModel, TrafficProfile};
+pub use config::{
+    ChurnConfig, ConfigError, ScenarioConfig, Topology, TrafficModel, TrafficProfile,
+};
 pub use distrib::{
     merge_grid_report, run_sequential_distributed, run_worker, DistribError, DistribOptions,
     GridManifest, ProcessSpawner, ShardLayout, ThreadSpawner, WorkerConfig, WorkerSpawner,
@@ -69,4 +79,5 @@ pub use experiment::{
 pub use persist::{config_hash, ExperimentStore, JobRecord, StoreError};
 pub use result::{NodeSummary, SimulationResult};
 pub use runner::SimulationRun;
+pub use spec::{GridSpec, ResolvedGrid, ResolvedSpec};
 pub use sweep::{compare_policies, load_sweep, load_sweep_spec, LoadSweepPoint, PolicyComparison};

@@ -58,6 +58,12 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
 /// serialization hashed with FNV-1a).  Two configs hash equal iff every
 /// field — node count, topology, churn, policy, seed, … — matches, which is
 /// exactly the "this persisted result is still valid" criterion.
+///
+/// The hash is derived from the **canonical resolved spec**: the same
+/// fully resolved configs a declarative [`crate::spec::GridSpec`] resolves
+/// to and `experiment --print-spec` dumps.  A spec-file grid and the
+/// identical code-built grid therefore share store records (and the
+/// distributed manifest's validity filter) interchangeably.
 pub fn config_hash(config: &ScenarioConfig) -> u64 {
     let text = serde_json::to_string(config).expect("scenario configs always serialize");
     fnv1a64(text.as_bytes())

@@ -104,8 +104,14 @@ pub struct SimulationRun {
 
 impl SimulationRun {
     /// Deploy the network described by `cfg` and prime the event queue.
+    ///
+    /// Panics when `cfg` is invalid — validate first (and surface the typed
+    /// [`crate::config::ConfigError`]) when the configuration comes from
+    /// user input rather than code.
     pub fn new(cfg: ScenarioConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid scenario configuration: {e}");
+        }
         let streams = RngStream::new(cfg.seed);
         let mut placement_rng = streams.derive(components::PLACEMENT, 0);
         let positions = cfg

@@ -1,0 +1,68 @@
+//! Declarative experiment specs: define a grid as a JSON document, resolve
+//! it deterministically into an `ExperimentSpec`, and run it — no Rust
+//! edits, no recompiles, and typed errors (with field paths) for every
+//! malformed document.
+//!
+//! ```bash
+//! cargo run --release --example spec_driven
+//! ```
+
+use caem_suite::wsnsim::spec::{GridSpec, ResolvedSpec};
+
+const SPEC: &str = r#"{
+  "caem_grid_spec": 1,
+  "name": "spec_driven_demo",
+  "base_seed": 7,
+  "replicates": 3,
+  "node_count": 20,
+  "duration_s": 20.0,
+  "scenarios": [
+    { "label": "uniform_8pps", "rate_pps": 8.0 },
+    {
+      "label": "corridor_8pps",
+      "rate_pps": 8.0,
+      "topology": { "corridor": { "width_fraction": 0.3 } }
+    }
+  ]
+}"#;
+
+fn main() {
+    // 1. Parse: strict, nothing silently ignored.
+    let doc = GridSpec::parse(SPEC).expect("demo spec parses");
+
+    // 2. Resolve: deterministic in (document, default seed, quick flag).
+    let resolved = doc.resolve(7, false).expect("demo spec resolves");
+    let spec = resolved.spec;
+
+    // The canonical resolved form carries per-scenario config hashes — the
+    // identity the persistence layer and the distributed manifest key on.
+    println!("resolved grid:");
+    for (label, hash, _config) in &ResolvedSpec::of(&spec).scenarios {
+        println!("  {label:<16} config_hash {hash:016x}");
+    }
+
+    // 3. Run the grid through the engine's single parallel layer.
+    let report = spec.run();
+    println!(
+        "\n{} jobs -> {} cells over seeds {:?}",
+        report.job_count,
+        report.cells.len(),
+        report.seeds
+    );
+    for cell in &report.cells {
+        let delivery = cell.metric("delivery_rate").expect("known metric");
+        println!(
+            "  {:<16} {:?}: delivery {:.3} +/- {:.3}",
+            cell.scenario,
+            cell.policy,
+            delivery.mean(),
+            delivery.ci95_half_width()
+        );
+    }
+
+    // 4. Malformed documents fail with typed, field-path errors — the same
+    //    errors `experiment --spec` surfaces verbatim before exiting 2.
+    let typo = SPEC.replace("rate_pps", "rate_pp");
+    let err = GridSpec::parse(&typo).expect_err("misspelled field rejected");
+    println!("\nmisspelled field rejected: {err}");
+}
