@@ -51,7 +51,8 @@ use caem_wsnsim::distrib::{
 use caem_wsnsim::experiment::{
     ExperimentReport, ExperimentSpec, SequentialOutcome, SequentialStopping, METRIC_NAMES,
 };
-use caem_wsnsim::persist::{config_hash, ExperimentStore};
+use caem_wsnsim::faults::{self, FaultRole};
+use caem_wsnsim::persist::{config_hash, ExperimentStore, StoreOptions};
 use caem_wsnsim::spec::{GridSpec, ResolvedSpec};
 
 const USAGE: &str = "\
@@ -73,6 +74,11 @@ modes (at most one selector; `run` is the default):
       --max-replicates <n> replicate cap (default 12 quick / 30 full)
     --workers <n>        distributed: spawn n worker processes over a shard dir
       --distrib-dir <dir>  shard directory (default BENCH_experiment_distrib*)
+      --chaos <seed:kinds> deterministic fault injection across the run
+                           (kinds: kill, torn, skew, transient, delay, poison,
+                           all; `+`-separated, e.g. --chaos 11:kill+torn)
+    --fsync              fsync every store append (durability over speed)
+    --strict             exit nonzero if any job was quarantined
   --reaggregate          rebuild the report offline from the JSONL store alone
   --worker-shard <dir>   participate in a distributed grid (requires --store)
   --list-scenarios       print scenario labels + config hashes; no simulation
@@ -268,16 +274,26 @@ fn print_sequential_outcome(outcome: &SequentialOutcome, metric: &str) {
 /// seeds and configs come from the shard directory, not from this process's
 /// other flags (the CLI rejects them in this mode).
 fn worker_mode(dir: &str, store: &str) -> ! {
-    let cfg = WorkerConfig::new(dir, store, format!("pid_{}", std::process::id()));
+    // Inherit the coordinator's chaos schedule and fsync setting across
+    // `exec`.  A malformed plan is fatal: a chaos run silently downgrading
+    // to a clean run would fake test coverage.
+    faults::install_plan_from_env(FaultRole::Worker)
+        .unwrap_or_else(|e| die(format!("bad {} value: {e}", faults::CHAOS_ENV)));
+    let mut cfg = WorkerConfig::new(dir, store, format!("pid_{}", std::process::id()));
+    cfg.fsync = std::env::var(faults::FSYNC_ENV).is_ok_and(|v| !v.is_empty());
     match run_worker(&cfg) {
         Ok(outcome) => {
             println!(
-                "worker {}: {} shards completed, {} jobs simulated, {} reused from {store}",
+                "worker {}: {} shards completed, {} jobs simulated, {} reused, {} quarantined from {store}",
                 std::process::id(),
                 outcome.shards_completed,
                 outcome.jobs_run,
                 outcome.jobs_reused,
+                outcome.jobs_quarantined,
             );
+            if let Some(summary) = faults::event_summary() {
+                println!("worker {}: {summary}", std::process::id());
+            }
             std::process::exit(0);
         }
         Err(e) => die(format!("worker on {dir} failed: {e}")),
@@ -339,10 +355,26 @@ fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
                 // persisted replicate pool, so a re-invocation must reuse
                 // the completed rounds).
                 fresh: !args.resume && dir.is_none() && sequential.is_none(),
+                fsync: args.fsync,
                 ..DistribOptions::new(n)
             };
-            let spawner = ProcessSpawner::current_exe(Vec::new())
+            let mut spawner = ProcessSpawner::current_exe(Vec::new())
                 .unwrap_or_else(|e| die(format!("cannot locate worker binary: {e}")));
+            if let Some(chaos) = &args.chaos {
+                // The coordinator participates in the schedule (lease and
+                // rename faults) but never kills itself; workers inherit the
+                // full plan through the environment.
+                faults::install_plan(chaos.clone(), FaultRole::Coordinator);
+                spawner
+                    .envs
+                    .push((faults::CHAOS_ENV.to_string(), chaos.env_string()));
+                println!("chaos mode: fault plan {}", chaos.env_string());
+            }
+            if args.fsync {
+                spawner
+                    .envs
+                    .push((faults::FSYNC_ENV.to_string(), "1".to_string()));
+            }
             println!(
                 "distributed experiment grid: {} scenarios x {} policies x {} seeds = {} jobs across {n} workers ({} rayon threads each), shard dir {}",
                 spec.scenarios.len(),
@@ -379,7 +411,9 @@ fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
                 // pool).
                 std::fs::remove_file(&store_path).ok();
             }
-            let mut store = ExperimentStore::open(&store_path).expect("open experiment store");
+            let mut store =
+                ExperimentStore::open_with(&store_path, StoreOptions { fsync: args.fsync })
+                    .expect("open experiment store");
             let preexisting = store.len();
             println!(
                 "experiment grid: {} scenarios x {} policies x {} seeds = {} jobs (single parallel layer, {} on disk)",
@@ -407,7 +441,31 @@ fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
     };
 
     print_summary(spec, &report);
+    if !report.failures.is_empty() {
+        // Degradation section: the grid completed, but these cells are
+        // missing the listed replicates.
+        println!(
+            "\n== degraded: {} job(s) quarantined after exhausting retries ==",
+            report.failures.len()
+        );
+        for failure in &report.failures {
+            println!(
+                "  {} / {:?} / seed {}: {} ({} attempts)",
+                failure.scenario, failure.policy, failure.seed, failure.reason, failure.attempts
+            );
+        }
+    }
+    if let Some(summary) = faults::event_summary() {
+        println!("{summary}");
+    }
     write_report(&report, paths.out);
+    if args.strict && !report.failures.is_empty() {
+        eprintln!(
+            "error: --strict and {} job(s) quarantined",
+            report.failures.len()
+        );
+        std::process::exit(3);
+    }
 }
 
 fn main() {

@@ -18,6 +18,8 @@
 
 use std::fmt;
 
+use caem_wsnsim::faults::FaultPlanConfig;
+
 /// A typed command-line error.  `Display` renders the message the binaries
 /// print (followed by their usage text) before exiting 2.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,6 +221,9 @@ pub const EXPERIMENT_FLAGS: &[FlagDef] = &[
     flag("--reaggregate"),
     flag("--list-scenarios"),
     flag("--print-spec"),
+    flag("--strict"),
+    flag("--fsync"),
+    option("--chaos"),
     option("--spec"),
     option("--store"),
     option("--workers"),
@@ -269,6 +274,15 @@ pub struct RunArgs {
     pub backend: RunBackend,
     /// Sequential stopping, if `--target-ci` was given.
     pub sequential: Option<SequentialArgs>,
+    /// Exit non-zero when the grid completes with quarantined jobs
+    /// (`--strict`; the default is a degradation section + exit 0).
+    pub strict: bool,
+    /// fsync every store append (`--fsync`).
+    pub fsync: bool,
+    /// Fault-injection schedule (`--chaos seed:kind+kind`); requires a
+    /// distributed backend, since the faults target the lease/store
+    /// machinery the workers exercise.
+    pub chaos: Option<FaultPlanConfig>,
 }
 
 /// The mutually exclusive modes of the `experiment` binary.  One value of
@@ -401,6 +415,9 @@ impl ExperimentCli {
                         "--max-replicates",
                         "--quick",
                         "--spec",
+                        "--strict",
+                        "--fsync",
+                        "--chaos",
                     ],
                 )?;
                 ExperimentMode::Worker { dir, store }
@@ -416,6 +433,9 @@ impl ExperimentCli {
                         "--target-ci",
                         "--ci-metric",
                         "--max-replicates",
+                        "--strict",
+                        "--fsync",
+                        "--chaos",
                     ],
                 )?;
                 ExperimentMode::Reaggregate {
@@ -439,6 +459,9 @@ impl ExperimentCli {
                         "--target-ci",
                         "--ci-metric",
                         "--max-replicates",
+                        "--strict",
+                        "--fsync",
+                        "--chaos",
                     ],
                 )?;
                 if introspect == "--list-scenarios" {
@@ -498,10 +521,32 @@ impl ExperimentCli {
                         }
                     }
                 };
+                let chaos = match parsed.value("--chaos") {
+                    None => None,
+                    Some(text) => {
+                        if !matches!(backend, RunBackend::Distributed { .. }) {
+                            // The fault plan targets the lease/steal/worker
+                            // machinery; a single-process run would inject
+                            // nothing it claims to.
+                            return Err(CliError::Requires {
+                                flag: "--chaos",
+                                requires: "--workers",
+                            });
+                        }
+                        Some(FaultPlanConfig::parse(text).map_err(|_| CliError::InvalidValue {
+                            flag: "--chaos",
+                            value: text.to_string(),
+                            expected: "seed:kind+kind (kinds: kill, torn, skew, transient, delay, poison, all)",
+                        })?)
+                    }
+                };
                 ExperimentMode::Run(RunArgs {
                     resume: parsed.has("--resume"),
                     backend,
                     sequential,
+                    strict: parsed.has("--strict"),
+                    fsync: parsed.has("--fsync"),
+                    chaos,
                 })
             }
         };
@@ -621,6 +666,9 @@ mod tests {
                 resume: false,
                 backend: RunBackend::Local { store: None },
                 sequential: None,
+                strict: false,
+                fsync: false,
+                chaos: None,
             })
         );
         assert_eq!(cli.mode_name(), "run");
@@ -779,6 +827,67 @@ mod tests {
             parse(&["12345", "extra"]),
             Err(CliError::UnexpectedPositional("extra".to_string()))
         );
+    }
+
+    #[test]
+    fn chaos_parses_with_a_distributed_backend_only() {
+        let cli = parse(&[
+            "--quick",
+            "--workers=2",
+            "--chaos",
+            "7:torn+skew",
+            "--strict",
+        ])
+        .unwrap();
+        match cli.mode {
+            ExperimentMode::Run(run) => {
+                assert!(run.strict);
+                assert!(!run.fsync);
+                let chaos = run.chaos.expect("chaos plan parsed");
+                assert_eq!(chaos.seed, 7);
+                assert_eq!(chaos.env_string(), "7:torn+skew");
+            }
+            other => panic!("expected run mode, got {other:?}"),
+        }
+        assert_eq!(
+            parse(&["--chaos", "7:torn"]),
+            Err(CliError::Requires {
+                flag: "--chaos",
+                requires: "--workers"
+            })
+        );
+        assert!(matches!(
+            parse(&["--workers=2", "--chaos", "7:bogus"]),
+            Err(CliError::InvalidValue {
+                flag: "--chaos",
+                ..
+            })
+        ));
+        // Robustness flags are meaningless off the run path.
+        assert_eq!(
+            parse(&["--reaggregate", "--strict"]),
+            Err(CliError::NotInMode {
+                flag: "--strict",
+                mode: "reaggregate"
+            })
+        );
+        assert_eq!(
+            parse(&["--list-scenarios", "--fsync"]),
+            Err(CliError::NotInMode {
+                flag: "--fsync",
+                mode: "list-scenarios"
+            })
+        );
+    }
+
+    #[test]
+    fn fsync_applies_to_local_and_distributed_runs() {
+        for argv in [&["--fsync"][..], &["--fsync", "--workers=2"][..]] {
+            match parse(argv).unwrap().mode {
+                ExperimentMode::Run(run) => assert!(run.fsync),
+                other => panic!("expected run mode, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -36,10 +36,17 @@
 //! No network is involved: shard claims, leases, records and the manifest
 //! are all plain files, so "several machines" is just "several processes"
 //! plus a shared filesystem.
+//!
+//! **Failure model.**  All lease and manifest IO routes through the
+//! [`crate::faults`] seam: transient failures retry with bounded backoff,
+//! manifests and done markers are fsynced before their rename, lease
+//! staleness combines a TTL heartbeat with a pid + process-start-time owner
+//! identity (safe under pid reuse; TTL-only where `/proc` is absent), and a
+//! job that keeps panicking or blowing its wall-clock budget is quarantined
+//! as a [`JobFailure`] instead of wedging its shard.
 
 use std::collections::HashMap;
-use std::fs::{self, OpenOptions};
-use std::io::Write;
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration as StdDuration;
 
@@ -52,7 +59,10 @@ use crate::experiment::{
     worst_ci_half_width, ExperimentJob, ExperimentReport, ExperimentSpec, SequentialOutcome,
     SequentialRound, SequentialStopping,
 };
-use crate::persist::{config_hash, fnv1a64, ExperimentStore, JobKey, JobRecord, StoreError};
+use crate::faults::{self, retry_transient, RetryPolicy, RunEvent};
+use crate::persist::{
+    config_hash, fnv1a64, ExperimentStore, JobFailure, JobKey, JobRecord, StoreError, StoreOptions,
+};
 use crate::runner::SimulationRun;
 
 /// Manifest format version (bumped on incompatible layout changes).
@@ -326,12 +336,13 @@ impl GridManifest {
             .collect()
     }
 
-    /// Write the manifest atomically (temp file + rename) so a crashed
-    /// coordinator can never leave a torn manifest for workers to misread.
+    /// Write the manifest atomically (fsync, then temp file + rename) so a
+    /// crashed coordinator — or a crashed **machine** — can never leave a
+    /// torn or half-persisted manifest for workers to misread.
     pub fn write(&self, layout: &ShardLayout) -> Result<(), DistribError> {
         let text = serde_json::to_string(self)
             .map_err(|e| DistribError::Format(format!("manifest serialization failed: {e}")))?;
-        write_atomic(&layout.manifest_path(), text.as_bytes())?;
+        write_atomic(&layout.manifest_path(), text.as_bytes(), true)?;
         Ok(())
     }
 
@@ -387,52 +398,102 @@ impl GridManifest {
 
 /// The content of a shard lease: who claimed it.  The lease file's mtime is
 /// the claim heartbeat — refreshed whenever the owner makes progress — and
-/// `pid` lets Linux hosts detect a dead owner immediately instead of waiting
-/// for the TTL.
+/// the pid + process-start-time pair identifies the owner **process**, not
+/// merely its pid number: a recycled pid gets a fresh kernel start time, so
+/// a dead owner can never masquerade as alive behind a reused pid.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardLease {
     /// Human-readable owner label (e.g. `worker_002` or `coordinator`).
     pub worker: String,
     /// Process id of the owner.
     pub pid: u32,
+    /// The owner's kernel start time (clock ticks since boot, field 22 of
+    /// `/proc/<pid>/stat`) — the pid-reuse discriminator.  `None` where
+    /// `/proc` is unavailable; staleness then falls back to the TTL alone.
+    pub pid_start: Option<u64>,
 }
 
-/// Atomically replace `path` with `bytes` (unique temp file + rename), so
-/// concurrent writers interleave whole files, never bytes.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DistribError> {
-    // Temp names are unique per process *and* per call: concurrent writers
-    // to the same target (e.g. per-job heartbeat refreshes racing across a
-    // worker's rayon threads) must never share a staging file, or one
-    // rename would rip the other's staged bytes out from under it.
-    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)?;
+impl ShardLease {
+    /// A lease naming this process as the owner, with its start-time
+    /// identity captured (where `/proc` allows).
+    pub fn current(worker: impl Into<String>) -> Self {
+        let pid = std::process::id();
+        ShardLease {
+            worker: worker.into(),
+            pid,
+            pid_start: process_start_ticks(pid),
+        }
+    }
+}
+
+/// The kernel start time of `pid` in clock ticks since boot — field 22 of
+/// `/proc/<pid>/stat`, parsed after the last `)` because the comm field may
+/// itself contain spaces or parentheses.  `None` when the process does not
+/// exist or `/proc` is unavailable (non-Linux).
+fn process_start_ticks(pid: u32) -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let after_comm = stat.rsplit_once(')')?.1;
+    // After the comm field, the next token is field 3 (state); starttime is
+    // field 22, i.e. the 19th post-comm token.
+    after_comm
+        .split_whitespace()
+        .nth(19)
+        .and_then(|t| t.parse().ok())
+}
+
+/// Atomically replace `path` with `bytes` through the lease-IO seam, with
+/// transient-failure retry.  `durable` fsyncs before the rename (manifests
+/// and done markers — files whose loss would orphan completed work);
+/// heartbeat refreshes skip the fsync, since a lost beat only risks
+/// duplicated work.
+fn write_atomic(path: &Path, bytes: &[u8], durable: bool) -> Result<(), DistribError> {
+    let io = faults::lease_io();
+    retry_transient(&RetryPolicy::default(), |attempt| {
+        io.replace_atomic(path, bytes, durable, attempt)
+    })?;
     Ok(())
 }
 
-/// Is the process with this id verifiably gone?  Only Linux can answer;
+/// Is the lease's owner process verifiably gone?  Only Linux can answer;
 /// elsewhere the answer is "unknown" and staleness falls back to the TTL.
-fn pid_verifiably_dead(pid: u32) -> bool {
-    if cfg!(target_os = "linux") {
-        !Path::new(&format!("/proc/{pid}")).exists()
-    } else {
-        false
+/// A pid that exists but whose kernel start time differs from the one the
+/// lease recorded is a **reused** pid — the owner is just as dead.
+fn owner_verifiably_dead(lease: &ShardLease) -> bool {
+    if lease.pid == std::process::id() || !cfg!(target_os = "linux") {
+        // This process "owns" every in-process worker thread; and without
+        // /proc there is no verdict.
+        return false;
+    }
+    match process_start_ticks(lease.pid) {
+        // No /proc/<pid>/stat: the process is gone.
+        None => true,
+        Some(current_start) => match lease.pid_start {
+            // Same pid, different start time: the pid was recycled.
+            Some(recorded) => recorded != current_start,
+            // A lease without the identity (degraded writer): the live pid
+            // must be presumed to be the owner.
+            None => false,
+        },
     }
 }
 
 /// Is the lease at `path` stealable?  Yes when its owner process is
-/// verifiably dead (and is not this process, which "owns" every in-process
-/// worker thread), or when the file has not been refreshed within `ttl`.
+/// verifiably dead, or when the file has not been refreshed within `ttl`.
+/// Age reads go through the lease-IO seam and clamp future mtimes to zero,
+/// so clock skew can only delay a TTL steal — a spurious steal (two workers
+/// running one shard) stays safe regardless, because records are
+/// deterministic and the merge dedupes by job key.
 fn lease_is_stale(path: &Path, lease: Option<&ShardLease>, ttl: StdDuration) -> bool {
     if let Some(lease) = lease {
-        if lease.pid != std::process::id() && pid_verifiably_dead(lease.pid) {
+        if owner_verifiably_dead(lease) {
             return true;
         }
     }
-    match fs::metadata(path).and_then(|m| m.modified()) {
-        Ok(mtime) => mtime.elapsed().map(|age| age >= ttl).unwrap_or(false),
+    match faults::lease_io().lease_age(path) {
+        Ok(age) => age >= ttl,
         // The lease vanished (or mtime is unreadable) mid-check: let the
         // atomic create/rename race below settle ownership.
         Err(_) => true,
@@ -466,27 +527,22 @@ fn try_claim_shard(
     let lease_path = layout.lease_path(shard);
     let body = serde_json::to_string(me)
         .map_err(|e| DistribError::Format(format!("lease serialization failed: {e}")))?;
-    match OpenOptions::new()
-        .write(true)
-        .create_new(true)
-        .open(&lease_path)
-    {
-        Ok(mut file) => {
-            file.write_all(body.as_bytes())?;
-            Ok(ClaimOutcome::Claimed)
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-            let holder: Option<ShardLease> = fs::read_to_string(&lease_path)
-                .ok()
-                .and_then(|text| serde_json::from_str(&text).ok());
-            if lease_is_stale(&lease_path, holder.as_ref(), ttl) {
-                write_atomic(&lease_path, body.as_bytes())?;
-                Ok(ClaimOutcome::Claimed)
-            } else {
-                Ok(ClaimOutcome::Busy)
-            }
-        }
-        Err(e) => Err(e.into()),
+    let io = faults::lease_io();
+    let created = retry_transient(&RetryPolicy::default(), |attempt| {
+        io.create_new(&lease_path, body.as_bytes(), attempt)
+    })?;
+    if created {
+        return Ok(ClaimOutcome::Claimed);
+    }
+    let holder: Option<ShardLease> = fs::read_to_string(&lease_path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok());
+    if lease_is_stale(&lease_path, holder.as_ref(), ttl) {
+        write_atomic(&lease_path, body.as_bytes(), false)?;
+        faults::note_event(RunEvent::LeaseStolen);
+        Ok(ClaimOutcome::Claimed)
+    } else {
+        Ok(ClaimOutcome::Busy)
     }
 }
 
@@ -495,7 +551,7 @@ fn try_claim_shard(
 fn refresh_lease(layout: &ShardLayout, shard: usize, me: &ShardLease) -> Result<(), DistribError> {
     let body = serde_json::to_string(me)
         .map_err(|e| DistribError::Format(format!("lease serialization failed: {e}")))?;
-    write_atomic(&layout.lease_path(shard), body.as_bytes())
+    write_atomic(&layout.lease_path(shard), body.as_bytes(), false)
 }
 
 /// Everything a worker needs to participate in a grid.
@@ -511,10 +567,20 @@ pub struct WorkerConfig {
     pub lease_ttl: StdDuration,
     /// Test hook: stop (as if killed) after completing this many shards.
     pub max_shards: Option<usize>,
+    /// fsync every store append (the worker-side form of `--fsync`).
+    pub fsync: bool,
+    /// Total attempts per job before a panicking or budget-blowing job is
+    /// quarantined as a [`JobFailure`] (at least 1).
+    pub job_attempts: u32,
+    /// Optional per-job wall-clock budget; a job still running past it
+    /// counts as a failed attempt (its thread is abandoned, its eventual
+    /// result discarded).  `None` — the default — imposes no budget.
+    pub job_wall_budget: Option<StdDuration>,
 }
 
 impl WorkerConfig {
-    /// A worker on `dir` writing to `store_path`, with a 60 s lease TTL.
+    /// A worker on `dir` writing to `store_path`, with a 60 s lease TTL,
+    /// no per-append fsync, 2 attempts per job and no wall-clock budget.
     pub fn new(
         dir: impl Into<PathBuf>,
         store_path: impl Into<PathBuf>,
@@ -526,6 +592,9 @@ impl WorkerConfig {
             label: label.into(),
             lease_ttl: StdDuration::from_secs(60),
             max_shards: None,
+            fsync: false,
+            job_attempts: 2,
+            job_wall_budget: None,
         }
     }
 }
@@ -540,6 +609,8 @@ pub struct WorkerOutcome {
     /// Jobs skipped because a valid record was already in the worker's own
     /// store (a restarted worker resuming its partial shard).
     pub jobs_reused: usize,
+    /// Jobs that exhausted their attempts and were recorded as failures.
+    pub jobs_quarantined: usize,
 }
 
 /// The worker loop: claim a shard, run its pending jobs through one rayon
@@ -552,11 +623,8 @@ pub struct WorkerOutcome {
 pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
     let layout = ShardLayout::new(&cfg.dir);
     let manifest = GridManifest::load(&layout)?;
-    let mut store = ExperimentStore::open(&cfg.store_path)?;
-    let me = ShardLease {
-        worker: cfg.label.clone(),
-        pid: std::process::id(),
-    };
+    let mut store = ExperimentStore::open_with(&cfg.store_path, StoreOptions { fsync: cfg.fsync })?;
+    let me = ShardLease::current(cfg.label.clone());
     let mut outcome = WorkerOutcome::default();
     'scan: loop {
         let mut progressed = false;
@@ -571,7 +639,15 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
                 continue;
             }
             progressed = true;
-            run_shard(&layout, &manifest, shard, &me, &mut store, &mut outcome)?;
+            run_shard(
+                &layout,
+                &manifest,
+                shard,
+                &me,
+                cfg,
+                &mut store,
+                &mut outcome,
+            )?;
             refresh_lease(&layout, shard, &me)?;
             let summary = format!(
                 "{{\"worker\":{:?},\"pid\":{},\"jobs\":{}}}",
@@ -579,7 +655,10 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
                 me.pid,
                 manifest.shard_jobs(shard).len()
             );
-            write_atomic(&layout.done_path(shard), summary.as_bytes())?;
+            // Done markers are durable: losing one after the workers exit
+            // would strand the shard "in progress" forever from the
+            // coordinator's point of view.
+            write_atomic(&layout.done_path(shard), summary.as_bytes(), true)?;
             outcome.shards_completed += 1;
         }
         if !progressed {
@@ -589,13 +668,15 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
     Ok(outcome)
 }
 
-/// Run one claimed shard: reuse the worker's own valid records, fan the
-/// rest out through the single parallel layer, stream each fresh record.
+/// Run one claimed shard: reuse the worker's own valid records (and respect
+/// its standing quarantines), fan the rest out through the single parallel
+/// layer, stream each fresh record — or [`JobFailure`] — as it settles.
 fn run_shard(
     layout: &ShardLayout,
     manifest: &GridManifest,
     shard: usize,
     me: &ShardLease,
+    cfg: &WorkerConfig,
     store: &mut ExperimentStore,
     outcome: &mut WorkerOutcome,
 ) -> Result<(), DistribError> {
@@ -604,9 +685,16 @@ fn run_shard(
     let pending: Vec<&ManifestJob> = jobs
         .into_iter()
         .filter(|job| {
+            // A valid success record — or a valid standing quarantine —
+            // settles the job; only truly undecided jobs run.  Without the
+            // failure check, a resumed poison grid would re-run its poison
+            // jobs forever.
             store
                 .get(job.key(), job.config_hash, &job.scenario)
                 .is_none()
+                && store
+                    .get_failure(job.key(), job.config_hash, &job.scenario)
+                    .is_none()
         })
         .collect();
     outcome.jobs_reused += total - pending.len();
@@ -616,24 +704,114 @@ fn run_shard(
     let sink = store.sink();
     // The worker's single parallel layer, drawing from the process budget
     // the coordinator allotted via RAYON_TOTAL_THREADS.
-    let fresh: Vec<JobRecord> = pending
+    let settled: Vec<Result<JobRecord, JobFailure>> = pending
         .par_iter()
         .map(|job| {
-            let record = job.run();
-            sink.append(&record).expect("worker store append failed");
+            let settled = run_job_guarded(job, cfg.job_attempts, cfg.job_wall_budget);
+            match &settled {
+                Ok(record) => sink.append(record).expect("worker store append failed"),
+                Err(failure) => sink
+                    .append_failure(failure)
+                    .expect("worker store append failed"),
+            }
             // Heartbeat: bump the lease mtime after every completed job, so
             // a shard whose jobs together outlast the TTL is not stolen
             // while its owner is demonstrably making progress.  Best-effort
             // — a lost beat only risks duplicated work, never wrong results.
             let _ = refresh_lease(layout, shard, me);
-            record
+            settled
         })
         .collect();
-    outcome.jobs_run += fresh.len();
-    for record in fresh {
-        store.note_record(record);
+    for settled in settled {
+        match settled {
+            Ok(record) => {
+                outcome.jobs_run += 1;
+                store.note_record(record);
+            }
+            Err(failure) => {
+                outcome.jobs_quarantined += 1;
+                store.note_failure(failure);
+            }
+        }
     }
     Ok(())
+}
+
+/// Run one job under the quarantine guard: up to `attempts` tries, each
+/// wrapped in `catch_unwind` (and, with a budget, raced against the clock);
+/// a job that never settles cleanly becomes a [`JobFailure`] so the shard —
+/// and the grid — still completes.
+fn run_job_guarded(
+    job: &ManifestJob,
+    attempts: u32,
+    wall_budget: Option<StdDuration>,
+) -> Result<JobRecord, JobFailure> {
+    let attempts = attempts.max(1);
+    let mut last_reason = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            faults::note_event(RunEvent::JobRetried);
+        }
+        match run_job_once(job, wall_budget) {
+            Ok(record) => return Ok(record),
+            Err(reason) => last_reason = reason,
+        }
+    }
+    faults::note_event(RunEvent::JobQuarantined);
+    Err(JobFailure {
+        scenario_index: job.scenario_index,
+        scenario: job.scenario.clone(),
+        policy_index: job.policy_index,
+        policy: job.policy,
+        seed: job.seed,
+        config_hash: job.config_hash,
+        attempts,
+        reason: last_reason,
+    })
+}
+
+/// One guarded attempt: the simulation inside `catch_unwind`, optionally on
+/// a watchdog thread so a runaway job can be abandoned at its wall-clock
+/// budget (the thread cannot be killed; it is detached and its eventual
+/// result discarded — the quarantine record is what the grid keeps).
+fn run_job_once(job: &ManifestJob, wall_budget: Option<StdDuration>) -> Result<JobRecord, String> {
+    let key = job.key();
+    let owned = job.clone();
+    let attempt = move || -> JobRecord {
+        faults::poison_check(key);
+        owned.run()
+    };
+    match wall_budget {
+        None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(attempt))
+            .map_err(|payload| format!("job panicked: {}", panic_text(payload.as_ref()))),
+        Some(budget) => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::Builder::new()
+                .name(format!("caem-job-{}-{}-{}", key.0, key.1, key.2))
+                .spawn(move || {
+                    let settled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(attempt));
+                    let _ = tx.send(settled);
+                })
+                .map_err(|e| format!("could not spawn job thread: {e}"))?;
+            match rx.recv_timeout(budget) {
+                Ok(Ok(record)) => Ok(record),
+                Ok(Err(payload)) => Err(format!("job panicked: {}", panic_text(payload.as_ref()))),
+                Err(_) => Err(format!(
+                    "job exceeded its wall-clock budget of {:.1} s",
+                    budget.as_secs_f64()
+                )),
+            }
+        }
+    }
+}
+
+/// Best-effort text of a panic payload (panics carry `String` or `&str`).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// A handle on one spawned worker (process or thread).
@@ -701,6 +879,9 @@ pub struct ProcessSpawner {
     pub program: PathBuf,
     /// Arguments placed before the `--worker-shard`/`--store` pair.
     pub base_args: Vec<String>,
+    /// Extra environment exported to every worker (how the `experiment`
+    /// binary forwards the chaos plan and fsync setting across `exec`).
+    pub envs: Vec<(String, String)>,
 }
 
 impl ProcessSpawner {
@@ -709,6 +890,7 @@ impl ProcessSpawner {
         Ok(ProcessSpawner {
             program: std::env::current_exe()?,
             base_args,
+            envs: Vec::new(),
         })
     }
 }
@@ -728,6 +910,7 @@ impl WorkerSpawner for ProcessSpawner {
             .arg("--store")
             .arg(store)
             .env("RAYON_TOTAL_THREADS", thread_budget.to_string())
+            .envs(self.envs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .spawn()?;
         Ok(WorkerHandle::from_child(child))
     }
@@ -744,6 +927,8 @@ pub struct ThreadSpawner {
     pub lease_ttl: StdDuration,
     /// Test hook: each worker stops (as if killed) after this many shards.
     pub max_shards: Option<usize>,
+    /// fsync every store append in each worker.
+    pub fsync: bool,
 }
 
 impl Default for ThreadSpawner {
@@ -751,6 +936,7 @@ impl Default for ThreadSpawner {
         ThreadSpawner {
             lease_ttl: StdDuration::from_secs(60),
             max_shards: None,
+            fsync: false,
         }
     }
 }
@@ -762,13 +948,14 @@ impl WorkerSpawner for ThreadSpawner {
         index: usize,
         _thread_budget: usize,
     ) -> Result<WorkerHandle, DistribError> {
-        let cfg = WorkerConfig {
-            dir: dir.to_path_buf(),
-            store_path: ShardLayout::new(dir).worker_store_path(&format!("{index:03}")),
-            label: format!("thread_{index:03}"),
-            lease_ttl: self.lease_ttl,
-            max_shards: self.max_shards,
-        };
+        let mut cfg = WorkerConfig::new(
+            dir.to_path_buf(),
+            ShardLayout::new(dir).worker_store_path(&format!("{index:03}")),
+            format!("thread_{index:03}"),
+        );
+        cfg.lease_ttl = self.lease_ttl;
+        cfg.max_shards = self.max_shards;
+        cfg.fsync = self.fsync;
         Ok(WorkerHandle::from_thread(std::thread::spawn(move || {
             run_worker(&cfg)
         })))
@@ -789,25 +976,42 @@ pub struct DistribOptions {
     /// Wipe the shard directory before starting (a fresh run).  Leave false
     /// to resume: done shards are skipped, valid records reused.
     pub fresh: bool,
+    /// fsync every store append in the coordinator's inline worker (spawned
+    /// workers receive the setting through their spawner).
+    pub fsync: bool,
 }
 
 impl DistribOptions {
     /// Defaults for `workers` workers: 4 shards per worker, 60 s TTL,
-    /// resume semantics (`fresh = false`).
+    /// resume semantics (`fresh = false`), no per-append fsync.
     pub fn new(workers: usize) -> Self {
         DistribOptions {
             workers,
             shards_per_worker: 4,
             lease_ttl: StdDuration::from_secs(60),
             fresh: false,
+            fsync: false,
         }
     }
 }
 
+/// Everything a grid settled: the valid success records plus the jobs that
+/// ended in quarantine (no success record anywhere, a standing
+/// [`JobFailure`]).  A success in **any** store beats a failure in another —
+/// a job another worker completed after one worker's quarantine is simply
+/// complete.
+#[derive(Debug, Clone, Default)]
+pub struct GridOutcome {
+    /// Valid success records (pre-dedup; aggregation dedupes last-wins).
+    pub records: Vec<JobRecord>,
+    /// Standing quarantines, one per failed job key, in canonical key order.
+    pub failures: Vec<JobFailure>,
+}
+
 /// Collect every record in the given stores that belongs to `manifest`
 /// (matching key, config hash and scenario label).  Records from other
-/// grids, stale configurations or renamed scenarios are skipped with a
-/// warning — they cannot silently contaminate a merged report.
+/// grids, stale configurations or renamed scenarios are counted and skipped
+/// with a warning — they cannot silently contaminate a merged report.
 ///
 /// The result is deliberately **order-insensitive** downstream: records are
 /// deterministic per job, so however the stores are ordered (and however
@@ -817,35 +1021,70 @@ pub fn collect_grid_records(
     manifest: &GridManifest,
     store_paths: &[PathBuf],
 ) -> Result<Vec<JobRecord>, DistribError> {
+    Ok(collect_grid_outcome(manifest, store_paths)?.records)
+}
+
+/// The failure-aware form of [`collect_grid_records`]: also gathers the
+/// grid's standing quarantines (valid failure records whose job has no
+/// valid success record in any store), deduplicated per key and sorted
+/// canonically so downstream report sections are deterministic.
+pub fn collect_grid_outcome(
+    manifest: &GridManifest,
+    store_paths: &[PathBuf],
+) -> Result<GridOutcome, DistribError> {
     let filter = manifest.record_filter();
-    let mut records = Vec::new();
+    let mut outcome = GridOutcome::default();
+    let mut failures: HashMap<JobKey, JobFailure> = HashMap::new();
     let mut foreign = 0usize;
     for path in store_paths {
         let store = ExperimentStore::load(path)?;
         for record in store.records() {
             match filter.get(&record.key()) {
                 Some(&(hash, label)) if record.config_hash == hash && record.scenario == label => {
-                    records.push(record.clone());
+                    outcome.records.push(record.clone());
+                }
+                _ => foreign += 1,
+            }
+        }
+        for failure in store.failures() {
+            match filter.get(&failure.key()) {
+                Some(&(hash, label))
+                    if failure.config_hash == hash && failure.scenario == label =>
+                {
+                    failures.insert(failure.key(), failure.clone());
                 }
                 _ => foreign += 1,
             }
         }
     }
+    // Success beats failure: a quarantine only stands while no worker ever
+    // completed the job.
+    let completed: std::collections::HashSet<JobKey> =
+        outcome.records.iter().map(JobRecord::key).collect();
+    outcome.failures = failures
+        .into_values()
+        .filter(|f| !completed.contains(&f.key()))
+        .collect();
+    outcome.failures.sort_by_key(JobFailure::key);
     if foreign > 0 {
+        faults::note_events(RunEvent::ForeignRecordIgnored, foreign as u64);
         eprintln!("warning: ignored {foreign} persisted records that do not belong to this grid");
     }
-    Ok(records)
+    Ok(outcome)
 }
 
 /// Merge a completed grid directory into its canonical report (no spec
 /// needed — the offline counterpart of [`ExperimentSpec::run_distributed`],
-/// analogous to [`ExperimentStore::rebuild_report`]).
+/// analogous to [`ExperimentStore::rebuild_report`]).  Standing quarantines
+/// surface in the report's degradation section.
 pub fn merge_grid_report(dir: &Path) -> Result<ExperimentReport, DistribError> {
     let layout = ShardLayout::new(dir);
     let manifest = GridManifest::load(&layout)?;
     let stores = layout.discover_worker_stores()?;
-    let records = collect_grid_records(&manifest, &stores)?;
-    Ok(ExperimentReport::from_records(records))
+    let outcome = collect_grid_outcome(&manifest, &stores)?;
+    let mut report = ExperimentReport::from_records(outcome.records);
+    report.failures = outcome.failures;
+    Ok(report)
 }
 
 impl ExperimentSpec {
@@ -863,22 +1102,36 @@ impl ExperimentSpec {
         opts: &DistribOptions,
         spawner: &S,
     ) -> Result<ExperimentReport, DistribError> {
-        let records = self.run_distributed_records(dir, opts, spawner)?;
-        let mut report = ExperimentReport::from_records(records);
+        let outcome = self.run_distributed_outcome(dir, opts, spawner)?;
+        let mut report = ExperimentReport::from_records(outcome.records);
         report.seeds = self.seeds.clone();
+        report.failures = outcome.failures;
         Ok(report)
     }
 
-    /// The record-level body of [`ExperimentSpec::run_distributed`]:
-    /// prepare the manifest, spawn and join workers, finish leftover shards
-    /// inline, and return every record of the grid (deduplicable, covering
-    /// every job exactly once after dedup).
+    /// The success records of [`ExperimentSpec::run_distributed_outcome`]
+    /// (kept for callers that only aggregate; quarantines are dropped).
     pub fn run_distributed_records<S: WorkerSpawner>(
         &self,
         dir: &Path,
         opts: &DistribOptions,
         spawner: &S,
     ) -> Result<Vec<JobRecord>, DistribError> {
+        Ok(self.run_distributed_outcome(dir, opts, spawner)?.records)
+    }
+
+    /// The record-level body of [`ExperimentSpec::run_distributed`]:
+    /// prepare the manifest, spawn and join workers, finish leftover shards
+    /// inline, and return every settled job of the grid — success records
+    /// (deduplicable, covering every non-quarantined job) plus standing
+    /// quarantines.  The grid counts as complete when every job is settled
+    /// one way or the other.
+    pub fn run_distributed_outcome<S: WorkerSpawner>(
+        &self,
+        dir: &Path,
+        opts: &DistribOptions,
+        spawner: &S,
+    ) -> Result<GridOutcome, DistribError> {
         self.assert_distinct_axes();
         assert!(opts.workers >= 1, "need at least one worker");
         assert!(
@@ -916,6 +1169,7 @@ impl ExperimentSpec {
             .collect::<Result<_, _>>()?;
         for handle in handles {
             if let Err(why) = handle.join() {
+                faults::note_event(RunEvent::WorkerAbnormalExit);
                 eprintln!("warning: {why} — its unfinished shards will be stolen");
             }
         }
@@ -924,13 +1178,13 @@ impl ExperimentSpec {
         // stale leases; the inline pass steals and completes them).
         let mut patience = 0u32;
         while !layout.all_done(manifest.shard_count) {
-            let inline = WorkerConfig {
-                dir: dir.to_path_buf(),
-                store_path: layout.worker_store_path("coordinator"),
-                label: "coordinator".to_string(),
-                lease_ttl: opts.lease_ttl,
-                max_shards: None,
-            };
+            let mut inline = WorkerConfig::new(
+                dir.to_path_buf(),
+                layout.worker_store_path("coordinator"),
+                "coordinator",
+            );
+            inline.lease_ttl = opts.lease_ttl;
+            inline.fsync = opts.fsync;
             run_worker(&inline)?;
             if layout.all_done(manifest.shard_count) {
                 break;
@@ -951,8 +1205,16 @@ impl ExperimentSpec {
         }
 
         let stores = layout.discover_worker_stores()?;
-        let records = collect_grid_records(&manifest, &stores)?;
-        let mut keys: Vec<JobKey> = records.iter().map(JobRecord::key).collect();
+        let outcome = collect_grid_outcome(&manifest, &stores)?;
+        // Coverage: every job is settled by a success record or a standing
+        // quarantine; anything else means records were lost, which must be
+        // an error, never a silently thinner report.
+        let mut keys: Vec<JobKey> = outcome
+            .records
+            .iter()
+            .map(JobRecord::key)
+            .chain(outcome.failures.iter().map(JobFailure::key))
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         if keys.len() != manifest.jobs.len() {
@@ -960,7 +1222,7 @@ impl ExperimentSpec {
                 missing: manifest.jobs.len() - keys.len(),
             });
         }
-        Ok(records)
+        Ok(outcome)
     }
 }
 
@@ -1001,6 +1263,7 @@ pub fn run_sequential_distributed<S: WorkerSpawner>(
     let mut seeds = spec.seeds.clone();
     let mut batch_start = 0usize;
     let mut all_records: Vec<JobRecord> = Vec::new();
+    let mut all_failures: Vec<JobFailure> = Vec::new();
     let mut rounds = Vec::new();
     loop {
         let batch = ExperimentSpec {
@@ -1009,9 +1272,12 @@ pub fn run_sequential_distributed<S: WorkerSpawner>(
             seeds: seeds[batch_start..].to_vec(),
         };
         let round_dir = dir.join(format!("round_{:03}", rounds.len()));
-        all_records.extend(batch.run_distributed_records(&round_dir, &round_opts, spawner)?);
+        let outcome = batch.run_distributed_outcome(&round_dir, &round_opts, spawner)?;
+        all_records.extend(outcome.records);
+        all_failures.extend(outcome.failures);
         let mut report = ExperimentReport::from_records(all_records.iter().cloned());
         report.seeds = seeds.clone();
+        report.failures = all_failures.clone();
         let worst_half_width = worst_ci_half_width(&report, &stop.metric);
         rounds.push(SequentialRound {
             replicates: seeds.len(),
@@ -1108,14 +1374,8 @@ mod tests {
         let layout = ShardLayout::new(&dir);
         layout.create_dirs().unwrap();
         let ttl = StdDuration::from_secs(60);
-        let a = ShardLease {
-            worker: "a".into(),
-            pid: std::process::id(),
-        };
-        let b = ShardLease {
-            worker: "b".into(),
-            pid: std::process::id(),
-        };
+        let a = ShardLease::current("a");
+        let b = ShardLease::current("b");
         assert_eq!(
             try_claim_shard(&layout, 0, &a, ttl).unwrap(),
             ClaimOutcome::Claimed
@@ -1125,7 +1385,7 @@ mod tests {
             ClaimOutcome::Busy,
             "a fresh lease is exclusive"
         );
-        write_atomic(&layout.done_path(0), b"{}").unwrap();
+        write_atomic(&layout.done_path(0), b"{}", true).unwrap();
         assert_eq!(
             try_claim_shard(&layout, 0, &b, ttl).unwrap(),
             ClaimOutcome::Done
@@ -1138,18 +1398,17 @@ mod tests {
         let dir = temp_grid("steal");
         let layout = ShardLayout::new(&dir);
         layout.create_dirs().unwrap();
-        let me = ShardLease {
-            worker: "stealer".into(),
-            pid: std::process::id(),
-        };
+        let me = ShardLease::current("stealer");
         // A lease held by a verifiably dead process is stolen immediately.
         let ghost = ShardLease {
             worker: "ghost".into(),
             pid: u32::MAX - 1,
+            pid_start: None,
         };
         write_atomic(
             &layout.lease_path(0),
             serde_json::to_string(&ghost).unwrap().as_bytes(),
+            false,
         )
         .unwrap();
         assert_eq!(
@@ -1161,6 +1420,7 @@ mod tests {
         write_atomic(
             &layout.lease_path(1),
             serde_json::to_string(&me).unwrap().as_bytes(),
+            false,
         )
         .unwrap();
         assert_eq!(
@@ -1174,5 +1434,53 @@ mod tests {
             "an expired lease is stolen"
         );
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn lease_identity_detects_pid_reuse() {
+        let me = ShardLease::current("self");
+        assert!(
+            me.pid_start.is_some(),
+            "Linux leases carry the start-time identity"
+        );
+        assert!(!owner_verifiably_dead(&me), "own lease is never dead");
+        // Same pid but a different recorded start time: the pid was
+        // recycled, so the original owner is verifiably dead even though
+        // /proc/<pid> exists.
+        let recycled = ShardLease {
+            worker: "previous-owner".into(),
+            pid: std::process::id(),
+            pid_start: me.pid_start.map(|t| t + 1),
+        };
+        // Own pid is exempt (in-process worker threads share it)...
+        assert!(!owner_verifiably_dead(&recycled));
+        // ...so check the start-time comparison against another live pid:
+        // pid 1 always exists on Linux.
+        let init_start = process_start_ticks(1).expect("pid 1 has a stat file");
+        let stale_init = ShardLease {
+            worker: "imposter".into(),
+            pid: 1,
+            pid_start: Some(init_start + 7),
+        };
+        assert!(
+            owner_verifiably_dead(&stale_init),
+            "a mismatched start time unmasks a reused pid"
+        );
+        let honest_init = ShardLease {
+            worker: "init".into(),
+            pid: 1,
+            pid_start: Some(init_start),
+        };
+        assert!(!owner_verifiably_dead(&honest_init));
+        let legacy = ShardLease {
+            worker: "legacy".into(),
+            pid: 1,
+            pid_start: None,
+        };
+        assert!(
+            !owner_verifiably_dead(&legacy),
+            "a live pid without identity is presumed to be the owner"
+        );
     }
 }

@@ -488,6 +488,10 @@ pub struct ExperimentReport {
     pub job_count: usize,
     /// One aggregated cell per (scenario, policy) pair, in enumeration order.
     pub cells: Vec<ExperimentCell>,
+    /// The degradation section: jobs quarantined after exhausting their
+    /// retry budget (empty on a healthy run).  Cells containing quarantined
+    /// jobs aggregate fewer replicates; the grid still completes.
+    pub failures: Vec<crate::persist::JobFailure>,
 }
 
 impl ExperimentReport {
@@ -528,6 +532,7 @@ impl ExperimentReport {
             seeds,
             job_count: deduped.len(),
             cells,
+            failures: Vec::new(),
         }
     }
     /// The cell for a given scenario label and policy.
@@ -565,11 +570,36 @@ impl ExperimentReport {
                 })
             })
             .collect();
-        json!({
-            "seeds": self.seeds,
-            "job_count": self.job_count,
-            "cells": cells,
-        })
+        if self.failures.is_empty() {
+            // No "quarantined" key at all on a healthy run: the artifact of
+            // a fault-injected-but-recovered grid stays byte-identical to
+            // the clean run's, which is what the chaos CI byte-diffs.
+            json!({
+                "seeds": self.seeds,
+                "job_count": self.job_count,
+                "cells": cells,
+            })
+        } else {
+            let quarantined: Vec<Value> = self
+                .failures
+                .iter()
+                .map(|f| {
+                    json!({
+                        "scenario": f.scenario,
+                        "policy": format!("{:?}", f.policy),
+                        "seed": f.seed,
+                        "attempts": f.attempts,
+                        "reason": f.reason,
+                    })
+                })
+                .collect();
+            json!({
+                "seeds": self.seeds,
+                "job_count": self.job_count,
+                "cells": cells,
+                "quarantined": quarantined,
+            })
+        }
     }
 }
 

@@ -1,0 +1,912 @@
+//! Deterministic fault injection, retry/backoff and recovery accounting for
+//! the persistence and distribution layers.
+//!
+//! PR 4's distributed runner survives the failures its tests inject (worker
+//! kills, torn JSONL tails, stale leases), but nothing *enforced* that the
+//! recovery claims hold under the failures nobody thought to write a test
+//! for.  This module turns the failure model into a first-class, injectable
+//! surface:
+//!
+//! 1. **IO seams** — the [`StoreIo`] and [`LeaseIo`] traits sit between the
+//!    store/lease code and the filesystem: store appends, lock-file
+//!    creation, atomic replace (temp file + rename) and lease-age (mtime)
+//!    reads all route through them.  [`RealIo`] is the production
+//!    passthrough; [`ChaosIo`] wraps it with a seeded [`FaultPlan`] that
+//!    injects torn writes, `EINTR`/`ENOSPC`-class transient errors, delayed
+//!    renames, forged clock skew, worker kill-at-append-K and poisoned
+//!    (panicking) jobs — deterministically per seed.
+//! 2. **Typed error classification + bounded backoff** — [`classify_io_error`]
+//!    splits IO failures into [`ErrorClass::Transient`] (worth retrying) and
+//!    [`ErrorClass::Fatal`] (abort exactly once).  [`retry_transient`] retries
+//!    transient failures under a [`RetryPolicy`]: bounded exponential backoff
+//!    with deterministic jitter, so retry schedules are reproducible per seed
+//!    and never exceed the configured cap.
+//! 3. **A counted event log** — recovery actions that used to be
+//!    unconditional `eprintln!`s (torn lines skipped, leases stolen,
+//!    transient retries, quarantined jobs) are now counted process-wide
+//!    ([`note_event`] / [`event_count`] / [`event_summary`]) so tests and the
+//!    CLI can assert on them.  The counters are observability only: they are
+//!    deliberately **not** part of the canonical report artifact, which must
+//!    stay byte-identical between clean and fault-injected runs.
+//!
+//! Fault plans install process-globally ([`install_plan`]) because worker
+//! *processes* must inherit them across `exec` — the coordinator forwards
+//! the plan through the [`CHAOS_ENV`] environment variable and workers call
+//! [`install_plan_from_env`].  Production code never pays for the seam: with
+//! no plan installed, [`store_io`]/[`lease_io`] hand out the passthrough.
+//!
+//! Injection is **recoverable by construction**: every fault that a bounded
+//! retry is expected to absorb is injected only on a call's first attempt
+//! (`attempt == 0`), so a retry loop of two attempts already guarantees
+//! forward progress and a chaos grid always completes.  Faults that retries
+//! cannot absorb (kills, poison) are absorbed one level up — by lease
+//! stealing and job quarantine respectively.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once, RwLock};
+use std::time::Duration as StdDuration;
+
+use crate::persist::JobKey;
+
+// ---------------------------------------------------------------------------
+// Error classification.
+// ---------------------------------------------------------------------------
+
+/// Whether an IO failure is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Interrupted-system-call / out-of-space-class failures that routinely
+    /// clear on their own; bounded retry with backoff is the right response.
+    Transient,
+    /// Everything else (permissions, missing directories, corrupt handles):
+    /// retrying cannot help, so the operation aborts exactly once.
+    Fatal,
+}
+
+/// Classify an IO error as transient (retry with backoff) or fatal (abort).
+///
+/// Transient classes: `Interrupted` (`EINTR`), `WouldBlock` (`EAGAIN`),
+/// `TimedOut`, `WriteZero` (a short write, the torn-append signature) and
+/// the raw `ENOSPC` errno — space exhaustion is routinely cleared by a log
+/// rotation or another process finishing, and the append path recovers from
+/// the partial write it may have left behind.
+pub fn classify_io_error(error: &io::Error) -> ErrorClass {
+    use io::ErrorKind as K;
+    if matches!(
+        error.kind(),
+        K::Interrupted | K::WouldBlock | K::TimedOut | K::WriteZero
+    ) {
+        return ErrorClass::Transient;
+    }
+    // Errno-level transients the portable ErrorKind mapping misses:
+    // EINTR(4), EAGAIN(11), ENOSPC(28).
+    matches!(error.raw_os_error(), Some(4 | 11 | 28))
+        .then_some(ErrorClass::Transient)
+        .unwrap_or(ErrorClass::Fatal)
+}
+
+// ---------------------------------------------------------------------------
+// Bounded exponential backoff with deterministic jitter.
+// ---------------------------------------------------------------------------
+
+/// Stateless 64-bit finalizer (SplitMix64's mixer): the deterministic
+/// randomness source for jitter and fault-plan decisions.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Retry schedule for transient IO failures: bounded exponential backoff
+/// with deterministic (seeded) jitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Delay ceiling of the first backoff step.
+    pub base_delay: StdDuration,
+    /// Hard cap every backoff delay stays at or under.
+    pub max_delay: StdDuration,
+    /// Seed of the deterministic jitter stream: equal seeds reproduce the
+    /// exact same delay schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: StdDuration::from_millis(2),
+            max_delay: StdDuration::from_millis(200),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay slept after failed attempt number `attempt` (0-based).
+    ///
+    /// The schedule doubles a `base_delay` ceiling per attempt, caps it at
+    /// `max_delay`, and fills the upper half of the window with
+    /// deterministic jitter derived from `jitter_seed` — so concurrent
+    /// retriers with different seeds decorrelate, while equal (seed,
+    /// attempt) pairs always produce the identical delay.  The result never
+    /// exceeds `max_delay`.
+    pub fn backoff_delay(&self, attempt: u32) -> StdDuration {
+        let base = self.base_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap = self.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if base == 0 || cap == 0 {
+            return StdDuration::ZERO;
+        }
+        let ceiling = base.saturating_mul(1u64 << attempt.min(20)).min(cap).max(1);
+        let jitter_span = ceiling / 2 + 1;
+        let jitter = mix64(self.jitter_seed ^ (u64::from(attempt) << 32) ^ 0x9E37_79B9_7F4A_7C15)
+            % jitter_span;
+        StdDuration::from_nanos((ceiling - ceiling / 2 + jitter).min(cap))
+    }
+}
+
+/// Run `op` under `policy`: transient failures (per [`classify_io_error`])
+/// are retried with backoff up to `policy.max_attempts` total attempts;
+/// fatal failures — and transient failures that exhaust the budget — return
+/// the error immediately.  `op` receives the 0-based attempt number (the
+/// [`ChaosIo`] seam injects only on attempt 0, guaranteeing bounded retries
+/// always recover injected faults).
+pub fn retry_transient<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut(u32) -> io::Result<T>,
+) -> io::Result<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(value) => return Ok(value),
+            Err(error) => {
+                if classify_io_error(&error) == ErrorClass::Fatal || attempt + 1 >= attempts {
+                    return Err(error);
+                }
+                note_event(RunEvent::TransientRetry);
+                std::thread::sleep(policy.backoff_delay(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The counted recovery-event log.
+// ---------------------------------------------------------------------------
+
+/// A counted recovery or degradation event.  Counters are process-wide and
+/// observability-only: they never enter the canonical report artifact, so a
+/// fault-injected run's report stays byte-identical to the clean run's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEvent {
+    /// A corrupt or torn JSONL line was skipped while loading a store.
+    TornLineSkipped,
+    /// A persisted record not belonging to the current grid was ignored.
+    ForeignRecordIgnored,
+    /// A stale lease (dead owner, pid reuse, or TTL expiry) was stolen.
+    LeaseStolen,
+    /// A transient IO failure was retried with backoff.
+    TransientRetry,
+    /// A failed job was re-attempted before quarantine.
+    JobRetried,
+    /// A job exhausted its attempts and was quarantined as a
+    /// [`crate::persist::JobFailure`].
+    JobQuarantined,
+    /// A spawned worker exited abnormally (killed, panicked, or errored).
+    WorkerAbnormalExit,
+    /// The active [`FaultPlan`] injected a fault.
+    FaultInjected,
+}
+
+/// Every [`RunEvent`] variant, in counter order.
+pub const RUN_EVENTS: [RunEvent; 8] = [
+    RunEvent::TornLineSkipped,
+    RunEvent::ForeignRecordIgnored,
+    RunEvent::LeaseStolen,
+    RunEvent::TransientRetry,
+    RunEvent::JobRetried,
+    RunEvent::JobQuarantined,
+    RunEvent::WorkerAbnormalExit,
+    RunEvent::FaultInjected,
+];
+
+impl RunEvent {
+    fn index(self) -> usize {
+        RUN_EVENTS
+            .iter()
+            .position(|&e| e == self)
+            .expect("RUN_EVENTS covers every variant")
+    }
+
+    /// Human-readable counter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunEvent::TornLineSkipped => "torn lines skipped",
+            RunEvent::ForeignRecordIgnored => "foreign records ignored",
+            RunEvent::LeaseStolen => "leases stolen",
+            RunEvent::TransientRetry => "transient IO retries",
+            RunEvent::JobRetried => "job retries",
+            RunEvent::JobQuarantined => "jobs quarantined",
+            RunEvent::WorkerAbnormalExit => "abnormal worker exits",
+            RunEvent::FaultInjected => "faults injected",
+        }
+    }
+}
+
+static EVENT_COUNTS: [AtomicU64; RUN_EVENTS.len()] =
+    [const { AtomicU64::new(0) }; RUN_EVENTS.len()];
+
+/// Count one occurrence of `event`.
+pub fn note_event(event: RunEvent) {
+    note_events(event, 1);
+}
+
+/// Count `n` occurrences of `event`.
+pub fn note_events(event: RunEvent, n: u64) {
+    EVENT_COUNTS[event.index()].fetch_add(n, Ordering::Relaxed);
+}
+
+/// This process's running count of `event`.
+pub fn event_count(event: RunEvent) -> u64 {
+    EVENT_COUNTS[event.index()].load(Ordering::Relaxed)
+}
+
+/// Snapshot of every event counter, in [`RUN_EVENTS`] order.
+pub fn event_counters() -> Vec<(RunEvent, u64)> {
+    RUN_EVENTS.iter().map(|&e| (e, event_count(e))).collect()
+}
+
+/// Zero every event counter (test isolation).
+pub fn reset_events() {
+    for counter in &EVENT_COUNTS {
+        counter.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One-line summary of the non-zero event counters, or `None` when this
+/// process recorded no recovery events at all (the common clean-run case).
+pub fn event_summary() -> Option<String> {
+    let parts: Vec<String> = event_counters()
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|(e, n)| format!("{n} {}", e.label()))
+        .collect();
+    if parts.is_empty() {
+        None
+    } else {
+        Some(format!("recovery events: {}", parts.join(", ")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The IO seams.
+// ---------------------------------------------------------------------------
+
+/// The seam over experiment-store file IO: JSONL line appends and fsync.
+pub trait StoreIo: Send + Sync {
+    /// Append one complete JSONL line (newline included) to `file`.
+    /// `attempt` is the caller's 0-based retry attempt — the passthrough
+    /// ignores it; [`ChaosIo`] injects faults only on attempt 0.
+    fn append_line(&self, file: &mut File, line: &[u8], attempt: u32) -> io::Result<()>;
+
+    /// Flush `file`'s data and metadata to stable storage.
+    fn sync(&self, file: &File) -> io::Result<()>;
+}
+
+/// The seam over lease/manifest file IO: atomic claim creation, atomic
+/// replace (temp file + rename) and lease-age reads.
+pub trait LeaseIo: Send + Sync {
+    /// Atomically create `path` with `body` iff it does not exist.  Returns
+    /// `Ok(true)` when this call created the file (the claim succeeded) and
+    /// `Ok(false)` when the path already existed.
+    fn create_new(&self, path: &Path, body: &[u8], attempt: u32) -> io::Result<bool>;
+
+    /// Atomically replace `path`'s content with `body` (unique temp file +
+    /// rename, so concurrent writers interleave whole files, never bytes).
+    /// With `durable`, the temp file is fsynced before the rename — the
+    /// write-then-rename crash-consistency discipline manifests need.
+    fn replace_atomic(
+        &self,
+        path: &Path,
+        body: &[u8],
+        durable: bool,
+        attempt: u32,
+    ) -> io::Result<()>;
+
+    /// Age of the file at `path` since its last modification.  A future
+    /// mtime (cross-machine clock skew) reads as zero — "freshly refreshed"
+    /// — so skew can only delay a steal, never cause a premature one.
+    fn lease_age(&self, path: &Path) -> io::Result<StdDuration>;
+}
+
+/// The production passthrough: plain `std::fs` with no injection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+/// Per-process sequence for unique temp-file names: concurrent writers to
+/// the same target (e.g. heartbeat refreshes racing across rayon threads)
+/// must never share a staging file, or one rename would rip the other's
+/// staged bytes out from under it.
+static REPLACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl StoreIo for RealIo {
+    fn append_line(&self, file: &mut File, line: &[u8], _attempt: u32) -> io::Result<()> {
+        file.write_all(line)
+    }
+
+    fn sync(&self, file: &File) -> io::Result<()> {
+        file.sync_all()
+    }
+}
+
+impl LeaseIo for RealIo {
+    fn create_new(&self, path: &Path, body: &[u8], _attempt: u32) -> io::Result<bool> {
+        match OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(mut file) => {
+                file.write_all(body)?;
+                Ok(true)
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn replace_atomic(
+        &self,
+        path: &Path,
+        body: &[u8],
+        durable: bool,
+        _attempt: u32,
+    ) -> io::Result<()> {
+        let seq = REPLACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+        let mut file = File::create(&tmp)?;
+        file.write_all(body)?;
+        if durable {
+            // fsync-before-rename: after a crash the target holds either the
+            // old content or the complete new content, never a torn hybrid
+            // whose bytes were still in the page cache when the rename
+            // committed.
+            file.sync_all()?;
+        }
+        drop(file);
+        std::fs::rename(&tmp, path)
+    }
+
+    fn lease_age(&self, path: &Path) -> io::Result<StdDuration> {
+        let mtime = std::fs::metadata(path)?.modified()?;
+        Ok(mtime.elapsed().unwrap_or(StdDuration::ZERO))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans.
+// ---------------------------------------------------------------------------
+
+/// One injectable fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Worker processes exit abruptly after their K-th store append.
+    Kill,
+    /// Store appends occasionally write half the line, then fail transient.
+    Torn,
+    /// Lease-age reads occasionally return forged, hours-old ages (clock
+    /// skew), provoking spurious steals.
+    Skew,
+    /// Store and lease operations occasionally fail with `EINTR`/`ENOSPC`-
+    /// class transient errors without writing anything.
+    Transient,
+    /// Atomic replaces (lease steals, heartbeats, manifests) are delayed by
+    /// a few milliseconds, widening race windows.
+    Delay,
+    /// A deterministic subset of jobs panics inside the runner, exercising
+    /// retry + quarantine.
+    Poison,
+}
+
+/// Every [`FaultKind`], in parse order.
+pub const FAULT_KINDS: [FaultKind; 6] = [
+    FaultKind::Kill,
+    FaultKind::Torn,
+    FaultKind::Skew,
+    FaultKind::Transient,
+    FaultKind::Delay,
+    FaultKind::Poison,
+];
+
+impl FaultKind {
+    /// The kind's spelling in `--chaos` specs and the env round-trip.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Kill => "kill",
+            FaultKind::Torn => "torn",
+            FaultKind::Skew => "skew",
+            FaultKind::Transient => "transient",
+            FaultKind::Delay => "delay",
+            FaultKind::Poison => "poison",
+        }
+    }
+}
+
+/// The declarative description of a fault schedule: a seed plus the enabled
+/// fault classes.  Parses from (and renders back to) the `seed:kind+kind`
+/// text used by `--chaos` and the [`CHAOS_ENV`] variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanConfig {
+    /// Seed of the deterministic decision stream.
+    pub seed: u64,
+    /// The enabled fault classes (duplicates removed, parse order kept).
+    pub kinds: Vec<FaultKind>,
+}
+
+impl FaultPlanConfig {
+    /// Parse a `seed:kind+kind` spec (e.g. `7:torn+skew`).  `all` expands to
+    /// every kind except `poison` (poison changes the report's quarantine
+    /// section by design, so it is always opted into explicitly).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (seed_text, kinds_text) = text.split_once(':').ok_or_else(|| {
+            format!("chaos spec `{text}` must be `seed:kind+kind` (e.g. `7:torn+skew`)")
+        })?;
+        let seed: u64 = seed_text
+            .parse()
+            .map_err(|_| format!("chaos seed `{seed_text}` is not an unsigned integer"))?;
+        let mut kinds = Vec::new();
+        let mut push = |k: FaultKind| {
+            if !kinds.contains(&k) {
+                kinds.push(k);
+            }
+        };
+        for part in kinds_text.split('+') {
+            match part {
+                "all" => {
+                    for k in FAULT_KINDS {
+                        if k != FaultKind::Poison {
+                            push(k);
+                        }
+                    }
+                }
+                other => match FAULT_KINDS.iter().find(|k| k.label() == other) {
+                    Some(&k) => push(k),
+                    None => {
+                        return Err(format!(
+                            "unknown fault kind `{other}` (expected one of kill, torn, skew, \
+                             transient, delay, poison, all)"
+                        ))
+                    }
+                },
+            }
+        }
+        if kinds.is_empty() {
+            return Err(format!("chaos spec `{text}` enables no fault kinds"));
+        }
+        Ok(FaultPlanConfig { seed, kinds })
+    }
+
+    /// Render back to the `seed:kind+kind` text ([`FaultPlanConfig::parse`]
+    /// round-trips it) — what the coordinator exports through [`CHAOS_ENV`].
+    pub fn env_string(&self) -> String {
+        let kinds: Vec<&str> = self.kinds.iter().map(|k| k.label()).collect();
+        format!("{}:{}", self.seed, kinds.join("+"))
+    }
+}
+
+/// Which role the current process plays under a fault plan.  Kill faults
+/// only fire in [`FaultRole::Worker`] processes — killing the coordinator
+/// would abort the experiment itself rather than exercise recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRole {
+    /// The process that owns the grid and merges the final report.
+    Coordinator,
+    /// A disposable worker process whose death must be survivable.
+    Worker,
+}
+
+/// Marker carried in injected poison panics, so the quarantine path can be
+/// asserted on and the panic hook can keep injected panics off stderr.
+pub const POISON_MARKER: &str = "caem-injected-poison";
+
+/// A live, seeded fault schedule (the runtime form of [`FaultPlanConfig`]).
+///
+/// Decisions draw from a deterministic counter-based stream: the N-th
+/// injectable operation in a process makes the same decision in every run
+/// with the same seed.  Faults a retry is expected to absorb are injected
+/// only on `attempt == 0`, so bounded retries always recover.
+pub struct FaultPlan {
+    cfg: FaultPlanConfig,
+    role: FaultRole,
+    draws: AtomicU64,
+    appends: AtomicU64,
+    kill_at: u64,
+}
+
+impl FaultPlan {
+    fn new(cfg: FaultPlanConfig, role: FaultRole) -> Self {
+        let kill_at = 3 + cfg.seed % 8;
+        FaultPlan {
+            cfg,
+            role,
+            draws: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            kill_at,
+        }
+    }
+
+    /// The plan's declarative configuration.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.cfg
+    }
+
+    fn has(&self, kind: FaultKind) -> bool {
+        self.cfg.kinds.contains(&kind)
+    }
+
+    fn draw(&self) -> u64 {
+        let n = self.draws.fetch_add(1, Ordering::Relaxed);
+        mix64(self.cfg.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// An injected transient error, rotating through the transient classes
+    /// so every class is exercised.
+    fn injected_error(&self, what: &str) -> io::Error {
+        let kinds = [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WriteZero,
+        ];
+        let kind = kinds[(self.draw() % kinds.len() as u64) as usize];
+        io::Error::new(kind, format!("injected transient fault: {what}"))
+    }
+
+    fn kill_check(&self) {
+        if self.role != FaultRole::Worker || !self.has(FaultKind::Kill) {
+            return;
+        }
+        let n = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if n == self.kill_at {
+            eprintln!(
+                "chaos: killing worker {} at append {n} (seed {})",
+                std::process::id(),
+                self.cfg.seed
+            );
+            std::process::exit(87);
+        }
+    }
+
+    fn tear_append(&self, attempt: u32) -> bool {
+        attempt == 0 && self.has(FaultKind::Torn) && self.draw().is_multiple_of(5)
+    }
+
+    fn fail_append(&self, attempt: u32) -> bool {
+        attempt == 0 && self.has(FaultKind::Transient) && self.draw().is_multiple_of(6)
+    }
+
+    fn fail_lease_op(&self, attempt: u32) -> bool {
+        attempt == 0 && self.has(FaultKind::Transient) && self.draw().is_multiple_of(6)
+    }
+
+    fn delay_replace(&self) -> Option<StdDuration> {
+        if self.has(FaultKind::Delay) && self.draw().is_multiple_of(3) {
+            Some(StdDuration::from_millis(1 + self.draw() % 8))
+        } else {
+            None
+        }
+    }
+
+    fn forge_skew(&self) -> Option<StdDuration> {
+        if self.has(FaultKind::Skew) && self.draw().is_multiple_of(3) {
+            // Forge the lease hours old: the reader believes its own clock
+            // ran far ahead of the writer's, and steals.  Only *old* ages
+            // are forged — a forged-fresh age could park a dead shard
+            // forever, which is a liveness bug, not a recoverable fault.
+            Some(StdDuration::from_secs(3600))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the plan poisons the job at `key`: a deterministic ~1/16
+    /// subset of the grid, stable across processes and runs of the same
+    /// seed (so a retried poison job fails again and is quarantined).
+    pub fn is_poisoned(&self, key: JobKey) -> bool {
+        if !self.has(FaultKind::Poison) {
+            return false;
+        }
+        let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ self.cfg.seed;
+        for word in [key.0 as u64, key.1 as u64, key.2] {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash.is_multiple_of(16)
+    }
+}
+
+/// The chaos wrapper: [`RealIo`] plus a [`FaultPlan`] deciding, per
+/// operation, whether to tear, fail, delay, forge or kill first.
+pub struct ChaosIo {
+    plan: Arc<FaultPlan>,
+}
+
+impl ChaosIo {
+    /// Wrap the passthrough with `plan`.
+    pub fn new(plan: Arc<FaultPlan>) -> Self {
+        ChaosIo { plan }
+    }
+}
+
+impl StoreIo for ChaosIo {
+    fn append_line(&self, file: &mut File, line: &[u8], attempt: u32) -> io::Result<()> {
+        self.plan.kill_check();
+        if self.plan.tear_append(attempt) {
+            note_event(RunEvent::FaultInjected);
+            // A torn write: half the bytes land, then the "syscall" fails.
+            // The recovery path must newline-terminate the fragment before
+            // rewriting, or the retry would fuse with it.
+            let _ = file.write_all(&line[..line.len() / 2]);
+            return Err(self.plan.injected_error("torn store append"));
+        }
+        if self.plan.fail_append(attempt) {
+            note_event(RunEvent::FaultInjected);
+            return Err(self.plan.injected_error("store append"));
+        }
+        RealIo.append_line(file, line, attempt)
+    }
+
+    fn sync(&self, file: &File) -> io::Result<()> {
+        RealIo.sync(file)
+    }
+}
+
+impl LeaseIo for ChaosIo {
+    fn create_new(&self, path: &Path, body: &[u8], attempt: u32) -> io::Result<bool> {
+        if self.plan.fail_lease_op(attempt) {
+            note_event(RunEvent::FaultInjected);
+            return Err(self.plan.injected_error("lease create"));
+        }
+        RealIo.create_new(path, body, attempt)
+    }
+
+    fn replace_atomic(
+        &self,
+        path: &Path,
+        body: &[u8],
+        durable: bool,
+        attempt: u32,
+    ) -> io::Result<()> {
+        if let Some(delay) = self.plan.delay_replace() {
+            note_event(RunEvent::FaultInjected);
+            std::thread::sleep(delay);
+        }
+        if self.plan.fail_lease_op(attempt) {
+            note_event(RunEvent::FaultInjected);
+            return Err(self.plan.injected_error("atomic replace"));
+        }
+        RealIo.replace_atomic(path, body, durable, attempt)
+    }
+
+    fn lease_age(&self, path: &Path) -> io::Result<StdDuration> {
+        let age = RealIo.lease_age(path)?;
+        if let Some(skew) = self.plan.forge_skew() {
+            note_event(RunEvent::FaultInjected);
+            return Ok(age + skew);
+        }
+        Ok(age)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global plan installation.
+// ---------------------------------------------------------------------------
+
+/// Environment variable carrying the fault plan from coordinator to worker
+/// processes (the [`FaultPlanConfig::env_string`] text).
+pub const CHAOS_ENV: &str = "CAEM_CHAOS";
+
+/// Environment variable (any non-empty value) telling worker processes to
+/// fsync every store append — the process-boundary form of `--fsync`.
+pub const FSYNC_ENV: &str = "CAEM_STORE_FSYNC";
+
+static ACTIVE_PLAN: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
+static POISON_HOOK: Once = Once::new();
+
+/// Install `cfg` as this process's active fault plan.  Every store opened
+/// and lease operation issued afterwards routes through a [`ChaosIo`]
+/// wrapping the plan.  Returns the live plan handle.
+pub fn install_plan(cfg: FaultPlanConfig, role: FaultRole) -> Arc<FaultPlan> {
+    if cfg.kinds.contains(&FaultKind::Poison) {
+        // Keep injected poison panics off stderr: they are expected,
+        // quarantined, and would otherwise drown real panic reports.
+        POISON_HOOK.call_once(|| {
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let payload = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                    .unwrap_or("");
+                if !payload.contains(POISON_MARKER) {
+                    default_hook(info);
+                }
+            }));
+        });
+    }
+    let plan = Arc::new(FaultPlan::new(cfg, role));
+    *ACTIVE_PLAN.write().expect("fault plan lock poisoned") = Some(Arc::clone(&plan));
+    plan
+}
+
+/// Install the plan the [`CHAOS_ENV`] variable describes, if set — what a
+/// worker process does on startup so it inherits the coordinator's chaos
+/// schedule across `exec`.  A malformed value is a hard error (a chaos run
+/// silently downgrading to a clean run would fake test coverage).
+pub fn install_plan_from_env(role: FaultRole) -> Result<Option<Arc<FaultPlan>>, String> {
+    match std::env::var(CHAOS_ENV) {
+        Ok(text) if !text.is_empty() => {
+            let cfg = FaultPlanConfig::parse(&text)?;
+            Ok(Some(install_plan(cfg, role)))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Deactivate any installed fault plan (test isolation).
+pub fn clear_plan() {
+    *ACTIVE_PLAN.write().expect("fault plan lock poisoned") = None;
+}
+
+/// This process's active fault plan, if one is installed.
+pub fn active_plan() -> Option<Arc<FaultPlan>> {
+    ACTIVE_PLAN
+        .read()
+        .expect("fault plan lock poisoned")
+        .clone()
+}
+
+/// The store-IO seam the persistence layer should use right now: the
+/// passthrough, or a [`ChaosIo`] when a plan is installed.
+pub fn store_io() -> Arc<dyn StoreIo> {
+    match active_plan() {
+        Some(plan) => Arc::new(ChaosIo::new(plan)),
+        None => Arc::new(RealIo),
+    }
+}
+
+/// The lease-IO seam the distribution layer should use right now.
+pub fn lease_io() -> Arc<dyn LeaseIo> {
+    match active_plan() {
+        Some(plan) => Arc::new(ChaosIo::new(plan)),
+        None => Arc::new(RealIo),
+    }
+}
+
+/// Panic iff the active plan poisons the job at `key` — called inside the
+/// guarded runner's `catch_unwind`, so an injected poison exercises exactly
+/// the retry/quarantine path a genuinely panicking job would.
+pub fn poison_check(key: JobKey) {
+    if let Some(plan) = active_plan() {
+        if plan.is_poisoned(key) {
+            panic!(
+                "{POISON_MARKER}: injected poison in job (scenario {}, policy {}, seed {})",
+                key.0, key.1, key.2
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded() {
+        let policy = RetryPolicy::default();
+        let twin = RetryPolicy::default();
+        for attempt in 0..40 {
+            let d = policy.backoff_delay(attempt);
+            assert_eq!(d, twin.backoff_delay(attempt), "deterministic");
+            assert!(d <= policy.max_delay, "bounded at attempt {attempt}");
+            assert!(d > StdDuration::ZERO);
+        }
+        let other = RetryPolicy {
+            jitter_seed: 0x0dd_5eed,
+            ..RetryPolicy::default()
+        };
+        assert!(
+            (0..8).any(|a| other.backoff_delay(a) != policy.backoff_delay(a)),
+            "different seeds decorrelate"
+        );
+    }
+
+    #[test]
+    fn transient_errors_retry_and_fatal_errors_abort_once() {
+        let policy = RetryPolicy {
+            base_delay: StdDuration::from_micros(10),
+            max_delay: StdDuration::from_micros(100),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let out: io::Result<u32> = retry_transient(&policy, |_| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls, 3, "two transient failures were retried");
+
+        let mut calls = 0;
+        let out: io::Result<u32> = retry_transient(&policy, |_| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "EACCES"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "fatal errors abort exactly once");
+    }
+
+    #[test]
+    fn enospc_errno_classifies_transient() {
+        assert_eq!(
+            classify_io_error(&io::Error::from_raw_os_error(28)),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify_io_error(&io::Error::new(io::ErrorKind::NotFound, "gone")),
+            ErrorClass::Fatal
+        );
+    }
+
+    #[test]
+    fn fault_plan_config_round_trips_through_its_env_string() {
+        let cfg = FaultPlanConfig::parse("42:torn+skew+poison").unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(
+            cfg.kinds,
+            vec![FaultKind::Torn, FaultKind::Skew, FaultKind::Poison]
+        );
+        assert_eq!(FaultPlanConfig::parse(&cfg.env_string()).unwrap(), cfg);
+        // `all` expands to every non-poison kind.
+        let all = FaultPlanConfig::parse("7:all").unwrap();
+        assert!(all.kinds.contains(&FaultKind::Kill));
+        assert!(!all.kinds.contains(&FaultKind::Poison));
+        assert!(FaultPlanConfig::parse("7").is_err());
+        assert!(FaultPlanConfig::parse("7:bogus").is_err());
+        assert!(FaultPlanConfig::parse("x:torn").is_err());
+    }
+
+    #[test]
+    fn poison_selection_is_deterministic_and_partial() {
+        let plan = FaultPlan::new(
+            FaultPlanConfig::parse("16:poison").unwrap(),
+            FaultRole::Worker,
+        );
+        let again = FaultPlan::new(
+            FaultPlanConfig::parse("16:poison").unwrap(),
+            FaultRole::Worker,
+        );
+        let keys: Vec<JobKey> = (0..6)
+            .flat_map(|s| (0..3).flat_map(move |p| (0..8).map(move |seed| (s, p, seed))))
+            .collect();
+        let poisoned: Vec<bool> = keys.iter().map(|&k| plan.is_poisoned(k)).collect();
+        assert_eq!(
+            poisoned,
+            keys.iter()
+                .map(|&k| again.is_poisoned(k))
+                .collect::<Vec<_>>(),
+            "same seed, same poison set"
+        );
+        let count = poisoned.iter().filter(|&&p| p).count();
+        assert!(count > 0, "some jobs are poisoned");
+        assert!(count < keys.len(), "most jobs are not");
+    }
+}

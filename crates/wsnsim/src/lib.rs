@@ -58,6 +58,7 @@ pub mod config;
 pub mod distrib;
 pub mod events;
 pub mod experiment;
+pub mod faults;
 pub mod node;
 pub mod persist;
 pub mod result;
@@ -76,7 +77,11 @@ pub use experiment::{
     run_configs, ExperimentCell, ExperimentJob, ExperimentReport, ExperimentSpec, ScenarioSpec,
     SequentialOutcome, SequentialRound, SequentialStopping,
 };
-pub use persist::{config_hash, ExperimentStore, JobRecord, StoreError};
+pub use faults::{
+    classify_io_error, ErrorClass, FaultKind, FaultPlan, FaultPlanConfig, FaultRole, RetryPolicy,
+    RunEvent,
+};
+pub use persist::{config_hash, ExperimentStore, JobFailure, JobRecord, StoreError, StoreOptions};
 pub use result::{NodeSummary, SimulationResult};
 pub use runner::SimulationRun;
 pub use spec::{GridSpec, ResolvedGrid, ResolvedSpec};

@@ -29,13 +29,14 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use caem::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
 
 use crate::config::ScenarioConfig;
 use crate::experiment::{replicate_metrics, ExperimentJob, METRIC_NAMES};
+use crate::faults::{self, retry_transient, RetryPolicy, RunEvent, StoreIo};
 use crate::result::SimulationResult;
 
 /// Store format version written into the header line.
@@ -160,6 +161,100 @@ impl JobRecord {
     }
 }
 
+/// A quarantined job: one that kept panicking or blowing its wall-clock
+/// budget until its retry budget ran out.  Failures persist to the store as
+/// their own JSONL line type so a resumed grid neither re-runs a poison job
+/// forever nor silently forgets that a cell is missing replicates — the
+/// report carries them in its degradation section instead.
+///
+/// A failure never shadows a success: if any worker (or a later resume)
+/// completes the job, the success record wins at aggregation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailure {
+    /// Index of the scenario in the grid's scenario list.
+    pub scenario_index: usize,
+    /// The scenario's label.
+    pub scenario: String,
+    /// Index of the policy in the grid's policy list.
+    pub policy_index: usize,
+    /// The protocol variant that failed.
+    pub policy: PolicyKind,
+    /// Master seed of the failed replicate.
+    pub seed: u64,
+    /// [`config_hash`] of the configuration under which the job failed —
+    /// the same staleness guard success records carry, so editing the
+    /// scenario clears its quarantine.
+    pub config_hash: u64,
+    /// How many times the job was attempted before quarantine.
+    pub attempts: u32,
+    /// Why the final attempt failed (panic payload or budget overrun).
+    pub reason: String,
+}
+
+impl JobFailure {
+    /// The failure's deterministic coordinates.
+    pub fn key(&self) -> JobKey {
+        (self.scenario_index, self.policy_index, self.seed)
+    }
+}
+
+/// The wire form of a [`JobFailure`]: the `caem_job_failure` marker field
+/// lets the loader route the line before attempting a [`JobRecord`] decode
+/// (the vendored derive has no `#[serde(tag)]`, so the marker is explicit).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FailureLine {
+    caem_job_failure: u64,
+    scenario_index: usize,
+    scenario: String,
+    policy_index: usize,
+    policy: PolicyKind,
+    seed: u64,
+    config_hash: u64,
+    attempts: u32,
+    reason: String,
+}
+
+impl From<&JobFailure> for FailureLine {
+    fn from(f: &JobFailure) -> Self {
+        FailureLine {
+            caem_job_failure: 1,
+            scenario_index: f.scenario_index,
+            scenario: f.scenario.clone(),
+            policy_index: f.policy_index,
+            policy: f.policy,
+            seed: f.seed,
+            config_hash: f.config_hash,
+            attempts: f.attempts,
+            reason: f.reason.clone(),
+        }
+    }
+}
+
+impl From<FailureLine> for JobFailure {
+    fn from(l: FailureLine) -> Self {
+        JobFailure {
+            scenario_index: l.scenario_index,
+            scenario: l.scenario,
+            policy_index: l.policy_index,
+            policy: l.policy,
+            seed: l.seed,
+            config_hash: l.config_hash,
+            attempts: l.attempts,
+            reason: l.reason,
+        }
+    }
+}
+
+/// Durability knobs for a writable store.
+#[derive(Debug, Clone, Default)]
+pub struct StoreOptions {
+    /// fsync after every appended line (`--fsync`).  Off by default: the
+    /// append-only format already confines an OS crash to a torn trailing
+    /// line, so per-append fsync only buys protection against *power* loss
+    /// at a large throughput cost.
+    pub fsync: bool,
+}
+
 /// Header line identifying a store file: format version plus the metric
 /// vocabulary the records were written under.  A store whose metric list no
 /// longer matches [`METRIC_NAMES`] refuses to load instead of silently
@@ -204,6 +299,9 @@ pub struct ExperimentStore {
     /// Deduplicated records, last-record-wins per key.
     records: Vec<JobRecord>,
     index: HashMap<JobKey, usize>,
+    /// Quarantined jobs, last-failure-wins per key.
+    failures: Vec<JobFailure>,
+    failure_index: HashMap<JobKey, usize>,
     skipped_lines: usize,
     /// The file ends in a torn (newline-less) fragment; the first append
     /// must emit a newline first or it would fuse with the fragment and
@@ -212,6 +310,11 @@ pub struct ExperimentStore {
     /// Records appended through this handle (loads don't count).
     appended: usize,
     writer: Option<File>,
+    /// The append seam: the production passthrough, or the active chaos
+    /// wrapper, captured once at open time.
+    io: Arc<dyn StoreIo>,
+    fsync: bool,
+    retry: RetryPolicy,
 }
 
 impl ExperimentStore {
@@ -221,7 +324,13 @@ impl ExperimentStore {
     /// in [`ExperimentStore::skipped_lines`]; the affected jobs simply
     /// re-run on resume.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(path, StoreOptions::default())
+    }
+
+    /// [`ExperimentStore::open`] with explicit durability options.
+    pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> Result<Self, StoreError> {
         let mut store = Self::read(path.as_ref())?;
+        store.fsync = options.fsync;
         let mut file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -231,7 +340,8 @@ impl ExperimentStore {
                 caem_experiment_store: STORE_VERSION,
                 metric_names: METRIC_NAMES.iter().map(|&m| m.to_string()).collect(),
             };
-            write_line(&mut file, &header)?;
+            let line = encode_line(&header)?;
+            append_line_with_recovery(&*store.io, &store.retry, &mut file, &line, store.fsync)?;
         } else if store.torn_tail {
             // A crash tore the final line; terminate it so the next record
             // starts on a line of its own instead of fusing with the
@@ -261,10 +371,15 @@ impl ExperimentStore {
             path: path.to_path_buf(),
             records: Vec::new(),
             index: HashMap::new(),
+            failures: Vec::new(),
+            failure_index: HashMap::new(),
             skipped_lines: 0,
             torn_tail: false,
             appended: 0,
             writer: None,
+            io: faults::store_io(),
+            fsync: false,
+            retry: RetryPolicy::default(),
         };
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -283,6 +398,13 @@ impl ExperimentStore {
                     continue;
                 }
             };
+            if value.get("caem_job_failure").is_some() {
+                match serde_json::from_value::<FailureLine>(value) {
+                    Ok(line) => store.insert_failure(line.into()),
+                    Err(e) => store.skip_line(lineno, &format!("undecodable failure record ({e})")),
+                }
+                continue;
+            }
             if value.get("caem_experiment_store").is_some() {
                 let header: StoreHeader = serde_json::from_value(value)
                     .map_err(|e| StoreError::Format(format!("bad store header: {e}")))?;
@@ -323,6 +445,7 @@ impl ExperimentStore {
 
     fn skip_line(&mut self, lineno: usize, why: &str) {
         self.skipped_lines += 1;
+        faults::note_event(RunEvent::TornLineSkipped);
         eprintln!(
             "warning: {}:{}: skipping {} — the job will re-run",
             self.path.display(),
@@ -335,6 +458,19 @@ impl ExperimentStore {
     /// counterpart of [`dedupe_last_wins`], sharing its index shape).
     fn insert(&mut self, record: JobRecord) {
         insert_last_wins(&mut self.records, &mut self.index, record);
+    }
+
+    /// Index a failure in memory, last-failure-wins per key.
+    fn insert_failure(&mut self, failure: JobFailure) {
+        match self.failure_index.entry(failure.key()) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.failures[*slot.get()] = failure;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.failures.len());
+                self.failures.push(failure);
+            }
+        }
     }
 
     /// The completed record at `key`, but only if it was produced by a
@@ -354,15 +490,32 @@ impl ExperimentStore {
 
     /// Append one record: a single JSONL line written in one `write_all`
     /// call (a crash can tear the trailing line but never interleave two),
-    /// then indexed in memory.
+    /// then indexed in memory.  Transient IO failures are retried with
+    /// backoff; a retry first newline-terminates whatever fragment the
+    /// failed attempt may have torn into the file, so the rewrite can never
+    /// fuse with it (the fragment loads back as one skipped line).
     pub fn append(&mut self, record: JobRecord) -> Result<(), StoreError> {
+        let line = encode_line(&record)?;
         let file = self
             .writer
             .as_mut()
             .expect("append on a store opened read-only");
-        write_line(file, &record)?;
+        append_line_with_recovery(&*self.io, &self.retry, file, &line, self.fsync)?;
         self.appended += 1;
         self.insert(record);
+        Ok(())
+    }
+
+    /// Append one quarantine record ([`JobFailure`]), with the same retry
+    /// and torn-write recovery as [`ExperimentStore::append`].
+    pub fn append_failure(&mut self, failure: JobFailure) -> Result<(), StoreError> {
+        let line = encode_line(&FailureLine::from(&failure))?;
+        let file = self
+            .writer
+            .as_mut()
+            .expect("append on a store opened read-only");
+        append_line_with_recovery(&*self.io, &self.retry, file, &line, self.fsync)?;
+        self.insert_failure(failure);
         Ok(())
     }
 
@@ -372,6 +525,9 @@ impl ExperimentStore {
     /// [`ExperimentStore::note_record`].
     pub(crate) fn sink(&mut self) -> RecordSink<'_> {
         RecordSink {
+            io: Arc::clone(&self.io),
+            fsync: self.fsync,
+            retry: self.retry.clone(),
             file: Mutex::new(
                 self.writer
                     .as_mut()
@@ -384,6 +540,11 @@ impl ExperimentStore {
     pub(crate) fn note_record(&mut self, record: JobRecord) {
         self.appended += 1;
         self.insert(record);
+    }
+
+    /// Index a failure that was already streamed to disk through a sink.
+    pub(crate) fn note_failure(&mut self, failure: JobFailure) {
+        self.insert_failure(failure);
     }
 
     /// Number of distinct completed jobs on record.
@@ -414,6 +575,27 @@ impl ExperimentStore {
         &self.records
     }
 
+    /// The deduplicated quarantine records (last failure per key).
+    pub fn failures(&self) -> &[JobFailure] {
+        &self.failures
+    }
+
+    /// The quarantine record at `key` under the current config hash and
+    /// scenario label — the same staleness filter [`ExperimentStore::get`]
+    /// applies, so an edited scenario clears its quarantine and the job
+    /// re-runs.
+    pub fn get_failure(
+        &self,
+        key: JobKey,
+        expected_hash: u64,
+        expected_label: &str,
+    ) -> Option<&JobFailure> {
+        self.failure_index
+            .get(&key)
+            .map(|&i| &self.failures[i])
+            .filter(|f| f.config_hash == expected_hash && f.scenario == expected_label)
+    }
+
     /// The store's file path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -424,7 +606,18 @@ impl ExperimentStore {
     /// in the canonical (scenario, policy, seed) order, so the result is
     /// bit-identical to the report of the grid run that wrote the store.
     pub fn rebuild_report(&self) -> crate::experiment::ExperimentReport {
-        crate::experiment::ExperimentReport::from_records(self.records.iter().cloned())
+        let mut report =
+            crate::experiment::ExperimentReport::from_records(self.records.iter().cloned());
+        // Standing quarantines (no success record for the key) surface in
+        // the rebuilt report's degradation section too.
+        report.failures = self
+            .failures
+            .iter()
+            .filter(|f| !self.index.contains_key(&f.key()))
+            .cloned()
+            .collect();
+        report.failures.sort_by_key(JobFailure::key);
+        report
     }
 }
 
@@ -459,27 +652,66 @@ pub(crate) fn dedupe_last_wins<I: IntoIterator<Item = JobRecord>>(records: I) ->
     deduped
 }
 
-/// Serialize `value` as one JSONL line into `file` with a single
-/// `write_all` syscall (torn lines on crash, never interleaved ones).
-fn write_line<W: Write, T: Serialize>(file: &mut W, value: &T) -> Result<(), StoreError> {
+/// Serialize `value` as one newline-terminated JSONL line.
+fn encode_line<T: Serialize>(value: &T) -> Result<Vec<u8>, StoreError> {
     let mut line = Vec::with_capacity(256);
     serde_json::to_writer(&mut line, value)
         .map_err(|e| StoreError::Format(format!("record serialization failed: {e}")))?;
     line.push(b'\n');
-    file.write_all(&line)?;
+    Ok(line)
+}
+
+/// Append one encoded line through the IO seam, retrying transient failures
+/// under `retry`.  Every retry attempt first newline-terminates the file:
+/// a failed attempt may have torn a partial line in (short write, `ENOSPC`
+/// mid-buffer), and rewriting directly after it would fuse the two into one
+/// corrupt record.  Terminated fragments (and the blank lines terminating
+/// clean failures) load back as skipped/ignored lines — the record itself
+/// is always rewritten whole.
+fn append_line_with_recovery(
+    io: &dyn StoreIo,
+    retry: &RetryPolicy,
+    file: &mut File,
+    line: &[u8],
+    fsync: bool,
+) -> Result<(), StoreError> {
+    retry_transient(retry, |attempt| {
+        if attempt > 0 {
+            io.append_line(file, b"\n", attempt)?;
+        }
+        io.append_line(file, line, attempt)
+    })?;
+    if fsync {
+        retry_transient(retry, |attempt| {
+            let _ = attempt;
+            io.sync(file)
+        })?;
+    }
     Ok(())
 }
 
 /// Shared append handle used inside the experiment engine's parallel layer.
 pub(crate) struct RecordSink<'a> {
+    io: Arc<dyn StoreIo>,
+    fsync: bool,
+    retry: RetryPolicy,
     file: Mutex<&'a mut File>,
 }
 
 impl RecordSink<'_> {
-    /// Stream one record to disk (one line, one syscall, under the lock).
+    /// Stream one record to disk (one line per `write_all`, under the
+    /// lock), with transient-failure retry and torn-write recovery.
     pub(crate) fn append(&self, record: &JobRecord) -> Result<(), StoreError> {
+        let line = encode_line(record)?;
         let mut file = self.file.lock().expect("record sink lock poisoned");
-        write_line(&mut *file, record)
+        append_line_with_recovery(&*self.io, &self.retry, &mut file, &line, self.fsync)
+    }
+
+    /// Stream one quarantine record to disk, same discipline as `append`.
+    pub(crate) fn append_failure(&self, failure: &JobFailure) -> Result<(), StoreError> {
+        let line = encode_line(&FailureLine::from(failure))?;
+        let mut file = self.file.lock().expect("record sink lock poisoned");
+        append_line_with_recovery(&*self.io, &self.retry, &mut file, &line, self.fsync)
     }
 }
 
@@ -573,6 +805,46 @@ mod tests {
         let store = ExperimentStore::open(&path).unwrap();
         assert_eq!(store.len(), 2, "intact records survive");
         assert_eq!(store.skipped_lines(), 1, "the torn line is counted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn job_failures_round_trip_and_respect_the_staleness_filter() {
+        let path = temp_path("failures");
+        std::fs::remove_file(&path).ok();
+        let failure = JobFailure {
+            scenario_index: 0,
+            scenario: "uniform".into(),
+            policy_index: 1,
+            policy: PolicyKind::Scheme1Adaptive,
+            seed: 3,
+            config_hash: 0xfeed_beef,
+            attempts: 2,
+            reason: "panicked: poison".into(),
+        };
+        {
+            let mut store = ExperimentStore::open(&path).unwrap();
+            store.append_failure(failure.clone()).unwrap();
+            let mut worse = failure.clone();
+            worse.attempts = 3;
+            store.append_failure(worse).unwrap();
+            store.append(tiny_record(9)).unwrap();
+        }
+        let store = ExperimentStore::load(&path).unwrap();
+        assert_eq!(store.len(), 1, "success records load independently");
+        assert_eq!(store.failures().len(), 1, "last failure per key wins");
+        let loaded = store
+            .get_failure((0, 1, 3), 0xfeed_beef, "uniform")
+            .unwrap();
+        assert_eq!(loaded.attempts, 3);
+        assert_eq!(loaded.reason, "panicked: poison");
+        // A stale hash or relabeled scenario clears the quarantine.
+        assert!(store
+            .get_failure((0, 1, 3), 0xdead_beef, "uniform")
+            .is_none());
+        assert!(store
+            .get_failure((0, 1, 3), 0xfeed_beef, "renamed")
+            .is_none());
         std::fs::remove_file(&path).ok();
     }
 

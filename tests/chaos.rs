@@ -1,0 +1,284 @@
+//! Chaos-mode contract tests: a distributed grid run under the deterministic
+//! fault plan must produce a report **byte-identical** to the clean run
+//! (recoverable faults), or identical-minus-quarantined (poison), and the
+//! durability seams (atomic manifest replace, fsync'd stores) must never
+//! leave half-written artifacts behind.
+//!
+//! The fault plan is process-global state, so everything that installs one
+//! lives in a single sequential `#[test]`; phases reset the plan and the
+//! event counters between them.
+
+use std::path::PathBuf;
+use std::time::Duration as StdDuration;
+
+use caem_suite::caem::policy::PolicyKind;
+use caem_suite::simcore::time::Duration;
+use caem_suite::wsnsim::distrib::{
+    merge_grid_report, run_worker, DistribOptions, GridManifest, ShardLayout, ThreadSpawner,
+    WorkerConfig,
+};
+use caem_suite::wsnsim::experiment::{ExperimentReport, ExperimentSpec, ScenarioSpec};
+use caem_suite::wsnsim::faults::{
+    self, FaultKind, FaultPlanConfig, FaultRole, RunEvent, POISON_MARKER,
+};
+use caem_suite::wsnsim::persist::{ExperimentStore, JobKey, StoreOptions};
+use caem_suite::wsnsim::{ScenarioConfig, Topology};
+
+fn temp_grid(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("caem_chaos_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&path).ok();
+    path
+}
+
+/// The report serialized to canonical JSON text: string equality is
+/// bit-level equality of every aggregated float.
+fn report_bits(report: &ExperimentReport) -> String {
+    serde_json::to_string(&report.to_json()).expect("report serializes")
+}
+
+fn base(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::small(PolicyKind::PureLeach, 8.0, seed).with_duration(Duration::from_secs(10))
+}
+
+/// A diverse little grid (18 jobs): two deployment shapes plus the diurnal
+/// traffic axis, three policies, two seeds.
+fn diverse_spec() -> ExperimentSpec {
+    ExperimentSpec::paper_policies(
+        vec![
+            ScenarioSpec::new("uniform", base(0)),
+            ScenarioSpec::new(
+                "corridor",
+                base(0).with_topology(Topology::Corridor {
+                    width_fraction: 0.3,
+                }),
+            ),
+            ScenarioSpec::new("diurnal", base(0).with_diurnal_traffic(7.0, 0.8)),
+        ],
+        7_300,
+        2,
+    )
+}
+
+fn opts(workers: usize) -> DistribOptions {
+    DistribOptions {
+        shards_per_worker: 2,
+        ..DistribOptions::new(workers)
+    }
+}
+
+fn grid_keys(spec: &ExperimentSpec) -> Vec<JobKey> {
+    let mut keys = Vec::new();
+    for si in 0..spec.scenarios.len() {
+        for pi in 0..spec.policies.len() {
+            for &seed in &spec.seeds {
+                keys.push((si, pi, seed));
+            }
+        }
+    }
+    keys
+}
+
+#[test]
+fn fault_plans_preserve_reports_and_poison_is_quarantined() {
+    let spec = diverse_spec();
+    let clean = spec.run();
+    let clean_bits = report_bits(&clean);
+    assert!(
+        !clean_bits.contains("quarantined"),
+        "a healthy report carries no degradation section"
+    );
+
+    // --- Phase A: every recoverable fault kind at once ------------------
+    // Torn appends, transient lease/store errors, forged clock skew and
+    // delayed renames — the distributed run must recover from all of them
+    // and still produce the byte-identical report.
+    faults::reset_events();
+    faults::install_plan(
+        FaultPlanConfig::parse("1105:torn+transient+skew+delay").expect("valid plan"),
+        FaultRole::Coordinator,
+    );
+    let dir = temp_grid("recoverable");
+    let report = spec
+        .run_distributed(&dir, &opts(2), &ThreadSpawner::default())
+        .expect("chaos run completes");
+    assert_eq!(
+        report_bits(&report),
+        clean_bits,
+        "recoverable faults must not change a single byte of the report"
+    );
+    assert!(
+        faults::event_count(RunEvent::FaultInjected) > 0,
+        "the plan actually fired"
+    );
+    assert!(
+        faults::event_summary().is_some(),
+        "recovery events were counted"
+    );
+    faults::clear_plan();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- Phase B: poison quarantine -------------------------------------
+    // Pick a seed whose deterministic ~1/16 poison subset hits this grid
+    // partially: at least one job dies, but not the whole grid.
+    let keys = grid_keys(&spec);
+    // The winning install is the last one performed, so the active plan and
+    // `poisoned` agree when the run below starts.
+    let (_plan, poisoned) = (0u64..500)
+        .find_map(|seed| {
+            let plan = faults::install_plan(
+                FaultPlanConfig {
+                    seed,
+                    kinds: vec![FaultKind::Poison],
+                },
+                FaultRole::Coordinator,
+            );
+            let poisoned: Vec<JobKey> = keys
+                .iter()
+                .copied()
+                .filter(|&k| plan.is_poisoned(k))
+                .collect();
+            (!poisoned.is_empty() && poisoned.len() < keys.len()).then_some((plan, poisoned))
+        })
+        .expect("some seed poisons a strict subset of 18 jobs");
+    faults::reset_events();
+    let dir = temp_grid("poison");
+    let degraded = spec
+        .run_distributed(&dir, &opts(2), &ThreadSpawner::default())
+        .expect("poisoned grid still completes");
+
+    let failed_keys: Vec<JobKey> = degraded.failures.iter().map(|f| f.key()).collect();
+    assert_eq!(failed_keys, poisoned, "exactly the poisoned jobs failed");
+    for failure in &degraded.failures {
+        assert!(
+            failure.reason.contains(POISON_MARKER),
+            "quarantine reason carries the panic text: {}",
+            failure.reason
+        );
+        assert_eq!(failure.attempts, 2, "default retry budget was exhausted");
+    }
+    assert!(faults::event_count(RunEvent::JobQuarantined) > 0);
+    assert!(report_bits(&degraded).contains("quarantined"));
+
+    // Identical-minus-quarantined: cells untouched by poison are equal to
+    // the clean run's, bit for bit.
+    for (si, scenario) in spec.scenarios.iter().enumerate() {
+        for (pi, &policy) in spec.policies.iter().enumerate() {
+            if poisoned.iter().any(|&(s, p, _)| (s, p) == (si, pi)) {
+                continue;
+            }
+            assert_eq!(
+                degraded.cell(&scenario.label, policy),
+                clean.cell(&scenario.label, policy),
+                "cell ({}, {policy:?}) had no poisoned replicate",
+                scenario.label
+            );
+        }
+    }
+
+    // The offline merge of the directory reproduces the same degradation.
+    let offline = merge_grid_report(&dir).expect("offline merge");
+    assert_eq!(
+        offline.failures, degraded.failures,
+        "standing quarantines survive offline re-aggregation"
+    );
+    faults::clear_plan();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- Phase C: wall-clock budget quarantine (no fault plan at all) ----
+    faults::reset_events();
+    let dir = temp_grid("budget");
+    let layout = ShardLayout::new(&dir);
+    layout.create_dirs().expect("create layout");
+    GridManifest::from_spec(&spec, 4)
+        .write(&layout)
+        .expect("write manifest");
+    let mut cfg = WorkerConfig::new(&dir, layout.worker_store_path("impatient"), "impatient");
+    cfg.job_attempts = 1;
+    cfg.job_wall_budget = Some(StdDuration::ZERO);
+    let outcome = run_worker(&cfg).expect("budget-starved worker completes the grid");
+    assert_eq!(outcome.jobs_run, 0, "no job fits a zero budget");
+    assert_eq!(outcome.jobs_quarantined, spec.job_count());
+    let report = merge_grid_report(&dir).expect("merge degraded grid");
+    assert_eq!(report.failures.len(), spec.job_count());
+    for failure in &report.failures {
+        assert!(
+            failure.reason.contains("wall-clock budget"),
+            "budget reason, got: {}",
+            failure.reason
+        );
+    }
+    // Quarantines are settled state: a healthy worker resuming the same
+    // directory finds nothing pending.
+    let healthy = WorkerConfig::new(&dir, layout.worker_store_path("late"), "late");
+    let resumed = run_worker(&healthy).expect("resume over quarantined grid");
+    assert_eq!(resumed.jobs_run, 0, "quarantined jobs are not re-run");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- Phase D: manifest crash-consistency -----------------------------
+    // A crash between writing the temp file and the atomic rename must
+    // never surface a half-manifest: the temp file is simply dead weight.
+    let dir = temp_grid("half_manifest");
+    let layout = ShardLayout::new(&dir);
+    layout.create_dirs().expect("create layout");
+    let manifest = GridManifest::from_spec(&spec, 4);
+    manifest.write(&layout).expect("write manifest");
+    let full = std::fs::read_to_string(layout.manifest_path()).expect("read manifest");
+    let stray = layout.manifest_path().with_extension("tmp.9999.1");
+    std::fs::write(&stray, &full[..full.len() / 2]).expect("plant half-written temp");
+    let loaded = GridManifest::load(&layout).expect("manifest still loads");
+    assert_eq!(loaded.grid_hash, manifest.grid_hash);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Same crash before the *first* write: only the temp exists, and the
+    // loader reports a clean absence instead of parsing the fragment.
+    let dir = temp_grid("only_temp");
+    let layout = ShardLayout::new(&dir);
+    layout.create_dirs().expect("create layout");
+    let stray = layout.manifest_path().with_extension("tmp.9999.2");
+    std::fs::write(&stray, &full[..full.len() / 2]).expect("plant half-written temp");
+    assert!(
+        GridManifest::load(&layout).is_err(),
+        "a lone temp fragment is not a manifest"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- Phase E: fsync'd store round-trip -------------------------------
+    let tiny = ExperimentSpec::paper_policies(vec![ScenarioSpec::new("uniform", base(0))], 99, 1);
+    let store_path = std::env::temp_dir().join(format!(
+        "caem_chaos_{}_fsync_store.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&store_path).ok();
+    let mut store =
+        ExperimentStore::open_with(&store_path, StoreOptions { fsync: true }).expect("open store");
+    let direct = tiny.run_with_store(&mut store);
+    drop(store);
+    let reloaded = ExperimentStore::load(&store_path).expect("reload fsync'd store");
+    assert_eq!(reloaded.len(), tiny.job_count());
+    assert_eq!(
+        report_bits(&reloaded.rebuild_report()),
+        report_bits(&direct)
+    );
+    std::fs::remove_file(&store_path).ok();
+
+    // --- Phase F: the coordinator → worker environment hand-off ----------
+    std::env::set_var(faults::CHAOS_ENV, "21:torn+skew");
+    let installed = faults::install_plan_from_env(FaultRole::Worker)
+        .expect("well-formed plan installs")
+        .expect("non-empty env installs a plan");
+    assert_eq!(installed.config().env_string(), "21:torn+skew");
+    std::env::set_var(faults::CHAOS_ENV, "not-a-plan");
+    assert!(
+        faults::install_plan_from_env(FaultRole::Worker).is_err(),
+        "a malformed plan is a hard error, not a silent clean run"
+    );
+    std::env::remove_var(faults::CHAOS_ENV);
+    faults::clear_plan();
+    assert!(
+        faults::install_plan_from_env(FaultRole::Worker)
+            .expect("empty env is fine")
+            .is_none(),
+        "no env, no plan"
+    );
+    faults::reset_events();
+}

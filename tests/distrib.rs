@@ -63,10 +63,8 @@ fn diverse_spec() -> ExperimentSpec {
 
 fn opts(workers: usize) -> DistribOptions {
     DistribOptions {
-        workers,
         shards_per_worker: 2,
-        lease_ttl: StdDuration::from_secs(60),
-        fresh: false,
+        ..DistribOptions::new(workers)
     }
 }
 
@@ -166,7 +164,7 @@ fn stale_lease_is_stolen_and_the_shard_completes() {
     // Shard 0: leased by a verifiably dead process (fresh mtime).
     std::fs::write(
         layout.lease_path(0),
-        "{\"worker\":\"ghost\",\"pid\":4294967294}",
+        "{\"worker\":\"ghost\",\"pid\":4294967294,\"pid_start\":null}",
     )
     .expect("forge ghost lease");
     // Shard 1: leased by *this* process (pid alive), so only the TTL can
@@ -174,7 +172,7 @@ fn stale_lease_is_stolen_and_the_shard_completes() {
     std::fs::write(
         layout.lease_path(1),
         format!(
-            "{{\"worker\":\"hung_thread\",\"pid\":{}}}",
+            "{{\"worker\":\"hung_thread\",\"pid\":{},\"pid_start\":null}}",
             std::process::id()
         ),
     )

@@ -1,0 +1,174 @@
+//! Properties of the fault-injection harness: the backoff schedule is
+//! deterministic per seed and bounded, every transient IO error class is
+//! retried, fatal errors abort exactly once, and a fault-plan config
+//! round-trips through its environment-variable encoding.
+
+use std::io;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use caem_suite::wsnsim::faults::{
+    classify_io_error, retry_transient, ErrorClass, FaultPlanConfig, RetryPolicy, FAULT_KINDS,
+};
+use proptest::prelude::*;
+
+/// A policy that never sleeps, so retry-path tests stay instant.
+fn instant_policy(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_delay: Duration::ZERO,
+        max_delay: Duration::ZERO,
+        ..RetryPolicy::default()
+    }
+}
+
+/// Every io::Error the harness classifies as transient, by construction.
+fn transient_errors() -> Vec<io::Error> {
+    vec![
+        io::Error::new(io::ErrorKind::Interrupted, "eintr"),
+        io::Error::new(io::ErrorKind::WouldBlock, "eagain"),
+        io::Error::new(io::ErrorKind::TimedOut, "timeout"),
+        io::Error::new(io::ErrorKind::WriteZero, "short write"),
+        io::Error::from_raw_os_error(4),  // EINTR
+        io::Error::from_raw_os_error(11), // EAGAIN
+        io::Error::from_raw_os_error(28), // ENOSPC
+    ]
+}
+
+/// A representative sample of fatal (non-retryable) errors.
+fn fatal_errors() -> Vec<io::Error> {
+    vec![
+        io::Error::new(io::ErrorKind::PermissionDenied, "eacces"),
+        io::Error::new(io::ErrorKind::NotFound, "enoent"),
+        io::Error::new(io::ErrorKind::InvalidData, "corrupt"),
+        io::Error::from_raw_os_error(13), // EACCES
+    ]
+}
+
+/// Clone an io::Error closely enough for the classifier (kind + raw errno).
+fn reissue(error: &io::Error) -> io::Error {
+    match error.raw_os_error() {
+        Some(code) => io::Error::from_raw_os_error(code),
+        None => io::Error::new(error.kind(), error.to_string()),
+    }
+}
+
+proptest! {
+    /// Equal (seed, attempt) pairs reproduce the identical delay, and no
+    /// delay ever exceeds the configured cap — however deep the retry goes.
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded(
+        seed in any::<u64>(),
+        base_ms in 1u64..=50,
+        cap_ms in 1u64..=500,
+    ) {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: Duration::from_millis(cap_ms),
+            jitter_seed: seed,
+            ..RetryPolicy::default()
+        };
+        let replay = policy.clone();
+        for attempt in 0..64 {
+            let delay = policy.backoff_delay(attempt);
+            prop_assert_eq!(delay, replay.backoff_delay(attempt));
+            prop_assert!(delay <= policy.max_delay);
+            prop_assert!(delay > Duration::ZERO);
+        }
+    }
+
+    /// Different jitter seeds decorrelate: some attempt in the schedule
+    /// gets a different delay (the jitter window spans half the ceiling).
+    #[test]
+    fn backoff_schedules_decorrelate_across_seeds(seed in any::<u64>()) {
+        let a = RetryPolicy { jitter_seed: seed, ..RetryPolicy::default() };
+        let b = RetryPolicy { jitter_seed: seed ^ 1, ..RetryPolicy::default() };
+        prop_assert!(
+            (0..64).any(|k| a.backoff_delay(k) != b.backoff_delay(k)),
+            "seeds {seed} and {} produced identical schedules", seed ^ 1
+        );
+    }
+
+    /// A fault-plan config survives the coordinator → worker trip through
+    /// its environment-variable encoding, whatever subset of kinds it uses.
+    #[test]
+    fn fault_plan_config_round_trips(seed in any::<u64>(), mask in 1u64..64) {
+        let cfg = FaultPlanConfig {
+            seed,
+            kinds: FAULT_KINDS
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &k)| k)
+                .collect(),
+        };
+        prop_assert_eq!(FaultPlanConfig::parse(&cfg.env_string()).unwrap(), cfg);
+    }
+}
+
+#[test]
+fn every_transient_error_class_is_retried_to_success() {
+    for template in transient_errors() {
+        let calls = AtomicU32::new(0);
+        let result = retry_transient(&instant_policy(5), |_attempt| {
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(reissue(&template))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(result.is_ok(), "{template}: should recover on retry");
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "{template}: two retries");
+        assert_eq!(classify_io_error(&template), ErrorClass::Transient);
+    }
+}
+
+#[test]
+fn transient_errors_exhaust_the_attempt_budget_then_surface() {
+    for template in transient_errors() {
+        let calls = AtomicU32::new(0);
+        let result: io::Result<()> = retry_transient(&instant_policy(4), |_attempt| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(reissue(&template))
+        });
+        assert!(result.is_err(), "{template}: persistent failure surfaces");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            4,
+            "{template}: every budgeted attempt was used"
+        );
+    }
+}
+
+#[test]
+fn fatal_errors_abort_exactly_once() {
+    for template in fatal_errors() {
+        let calls = AtomicU32::new(0);
+        let result: io::Result<()> = retry_transient(&instant_policy(5), |_attempt| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(reissue(&template))
+        });
+        assert!(result.is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "{template}: no retry");
+        assert_eq!(classify_io_error(&template), ErrorClass::Fatal);
+    }
+}
+
+#[test]
+fn malformed_fault_plan_specs_are_rejected() {
+    for bad in [
+        "",
+        "11",
+        ":kill",
+        "seed:kill",
+        "11:",
+        "11:bogus",
+        "11:kill+",
+        "11:kill+bogus",
+    ] {
+        assert!(
+            FaultPlanConfig::parse(bad).is_err(),
+            "{bad:?} should not parse"
+        );
+    }
+}
