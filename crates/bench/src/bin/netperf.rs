@@ -9,8 +9,11 @@
 //!    to its long version).
 //! 2. A wall-clock throughput benchmark of the simulator itself: every
 //!    scenario is run serially under a timer and reported as *events/sec*,
-//!    giving the repository a perf trajectory across PRs.  Results are
-//!    written to `BENCH_netperf.json` at the repository root.
+//!    giving the repository a perf trajectory across PRs.  A node-count
+//!    scaling sweep (1k → 1M nodes at constant deployment density) rides
+//!    along to track how throughput and resident memory scale with network
+//!    size.  Results are written to `BENCH_netperf.json` at the repository
+//!    root.
 //!
 //! ```bash
 //! cargo run -p caem-bench --release --bin netperf
@@ -19,12 +22,56 @@
 
 use std::time::Instant;
 
-use caem_bench::{apply_quick, emit, policy_label, FigureArgs};
+use caem::policy::PolicyKind;
+use caem_bench::{apply_quick, emit, policy_label, rss, FigureArgs};
 use caem_metrics::report::{Column, Table};
 use caem_simcore::time::Duration;
 use caem_wsnsim::experiment::{ExperimentSpec, ScenarioSpec};
 use caem_wsnsim::sweep::{LoadSweepPoint, PolicyComparison, PAPER_POLICIES};
 use caem_wsnsim::{ScenarioConfig, SimulationRun};
+
+/// Timing record for one point of the node-count scaling sweep.
+struct ScalePoint {
+    nodes: usize,
+    sim_seconds: f64,
+    wall_clock_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    rss_mb: Option<f64>,
+    peak_rss_mb: Option<f64>,
+}
+
+/// Run the node-count scaling sweep: the same paper-density deployment
+/// (0.01 nodes/m², see [`ScenarioConfig::scaled`]) grown from 1k toward a
+/// million nodes, each point timed over a shrinking sim horizon so the
+/// sweep stays affordable.  `peak_rss_mb` is the process high-water mark,
+/// which only grows — running the points in ascending node order keeps the
+/// figure attributable to the point that recorded it.
+fn node_scaling_sweep(seed: u64, quick: bool) -> Vec<ScalePoint> {
+    let grid: &[(usize, u64)] = if quick {
+        &[(1_000, 10), (10_000, 5)]
+    } else {
+        &[(1_000, 60), (10_000, 30), (100_000, 10), (1_000_000, 3)]
+    };
+    let mut points = Vec::with_capacity(grid.len());
+    for &(nodes, horizon_s) in grid {
+        let cfg = ScenarioConfig::scaled(nodes, PolicyKind::Scheme1Adaptive, 1.0, seed)
+            .with_duration(Duration::from_secs(horizon_s));
+        let started = Instant::now();
+        let result = SimulationRun::new(cfg).run();
+        let wall_clock_s = started.elapsed().as_secs_f64();
+        points.push(ScalePoint {
+            nodes,
+            sim_seconds: horizon_s as f64,
+            wall_clock_s,
+            events: result.events_processed,
+            events_per_sec: result.events_processed as f64 / wall_clock_s.max(1e-9),
+            rss_mb: rss::current_rss_mb(),
+            peak_rss_mb: rss::peak_rss_mb(),
+        });
+    }
+    points
+}
 
 /// Timing record for one simulated scenario.
 struct ScenarioTiming {
@@ -143,6 +190,25 @@ fn main() {
         "aggregate: {total_events} events in {sum_scenario_wall:.3} s = {aggregate_eps:.0} events/sec"
     );
 
+    // Node-count scaling: how far the structure-of-arrays engine stretches.
+    let scaling = node_scaling_sweep(seed, quick);
+    println!("== node-count scaling (constant density, scheme 1, 1 pkt/s/node) ==");
+    println!(
+        "{:>10} {:>8} {:>10} {:>14} {:>12} {:>10}",
+        "nodes", "sim_s", "wall_s", "events", "events/sec", "rss_mb"
+    );
+    for p in &scaling {
+        println!(
+            "{:>10} {:>8.0} {:>10.3} {:>14} {:>12.0} {:>10.0}",
+            p.nodes,
+            p.sim_seconds,
+            p.wall_clock_s,
+            p.events,
+            p.events_per_sec,
+            p.rss_mb.unwrap_or(f64::NAN)
+        );
+    }
+
     let scenarios: Vec<serde_json::Value> = timings
         .iter()
         .map(|t| {
@@ -166,6 +232,20 @@ fn main() {
         "total_events": total_events,
         "events_per_sec": aggregate_eps,
         "scenarios": scenarios,
+        "node_scaling": scaling
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "nodes": p.nodes,
+                    "sim_seconds": p.sim_seconds,
+                    "wall_clock_s": p.wall_clock_s,
+                    "events": p.events,
+                    "events_per_sec": p.events_per_sec,
+                    "rss_mb": p.rss_mb,
+                    "peak_rss_mb": p.peak_rss_mb,
+                })
+            })
+            .collect::<Vec<serde_json::Value>>(),
     });
     // Quick smoke runs measure a reduced scenario; route them to a separate
     // (gitignored) file so they can never clobber the committed perf

@@ -23,6 +23,7 @@ use caem_wsnsim::experiment::ScenarioSpec;
 use caem_wsnsim::{ScenarioConfig, Topology};
 
 pub mod cli;
+pub mod rss;
 
 pub use cli::{ExperimentCli, ExperimentMode, FigureArgs};
 

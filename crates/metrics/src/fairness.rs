@@ -40,6 +40,30 @@ impl QueueFairness {
         self.snapshot_means.push(stats.mean());
     }
 
+    /// Record one snapshot straight from structure-of-arrays hot columns:
+    /// `queue_lengths[i]` counts only when `alive[i] && !is_head[i]` (heads
+    /// are sinks — their aggregation queue is not contended bandwidth).
+    ///
+    /// Numerically identical to filtering the columns into a slice and
+    /// calling [`QueueFairness::snapshot`]: the same values are pushed into
+    /// the same running accumulators in the same (node) order, without the
+    /// intermediate copy.  A snapshot with no eligible node is ignored.
+    pub fn snapshot_masked(&mut self, queue_lengths: &[u32], alive: &[bool], is_head: &[bool]) {
+        assert_eq!(queue_lengths.len(), alive.len());
+        assert_eq!(queue_lengths.len(), is_head.len());
+        let mut stats = RunningStats::new();
+        for i in 0..queue_lengths.len() {
+            if alive[i] && !is_head[i] {
+                stats.push(queue_lengths[i] as f64);
+            }
+        }
+        if stats.count() == 0 {
+            return;
+        }
+        self.snapshot_stddevs.push(stats.std_dev());
+        self.snapshot_means.push(stats.mean());
+    }
+
     /// Number of snapshots recorded.
     pub fn snapshots(&self) -> u64 {
         self.snapshot_stddevs.count()
@@ -95,6 +119,35 @@ mod tests {
         assert_eq!(f.snapshots(), 2);
         assert!((f.mean_std_dev() - 2.5).abs() < 1e-12);
         assert_eq!(f.worst_std_dev(), Some(5.0));
+    }
+
+    #[test]
+    fn masked_snapshot_matches_filtered_copy() {
+        let queues: [u32; 6] = [4, 9, 0, 7, 2, 30];
+        let alive = [true, true, false, true, true, true];
+        let is_head = [false, true, false, false, false, false];
+        // Reference: filter into a slice, snapshot that.
+        let filtered: Vec<usize> = (0..6)
+            .filter(|&i| alive[i] && !is_head[i])
+            .map(|i| queues[i] as usize)
+            .collect();
+        let mut reference = QueueFairness::new();
+        reference.snapshot(&filtered);
+        let mut masked = QueueFairness::new();
+        masked.snapshot_masked(&queues, &alive, &is_head);
+        assert_eq!(masked.snapshots(), 1);
+        assert_eq!(
+            masked.mean_std_dev().to_bits(),
+            reference.mean_std_dev().to_bits()
+        );
+        assert_eq!(
+            masked.mean_queue_length().to_bits(),
+            reference.mean_queue_length().to_bits()
+        );
+        // All nodes masked out ⇒ ignored, like an empty slice.
+        let mut empty = QueueFairness::new();
+        empty.snapshot_masked(&queues, &[false; 6], &is_head);
+        assert_eq!(empty.snapshots(), 0);
     }
 
     #[test]

@@ -46,8 +46,12 @@ impl PacketBuffer {
     /// A buffer holding at most `capacity` packets.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
+        // Backing storage grows on first use: a million-node deployment
+        // holds a million buffers, most of them empty most of the time, so
+        // eagerly reserving `capacity` slots each would dominate resident
+        // memory for no behavioral difference.
         PacketBuffer {
-            queue: VecDeque::with_capacity(capacity.min(1024)),
+            queue: VecDeque::new(),
             capacity: Some(capacity),
             stats: BufferStats::default(),
         }

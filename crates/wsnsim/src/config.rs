@@ -463,6 +463,23 @@ impl ScenarioConfig {
         cfg
     }
 
+    /// A deployment scaled to `node_count` nodes at the paper's density.
+    ///
+    /// The Table II scenario is 100 nodes on a 100 m × 100 m field
+    /// (0.01 nodes/m²); this keeps that density — the field side grows with
+    /// `√(node_count / 100)` — and the head probability, so expected cluster
+    /// size and contention per cluster stay at paper scale while the network
+    /// grows.  This is the constructor the stress/soak harness and the
+    /// node-count scaling benchmarks use for 10⁴–10⁶-node runs.
+    pub fn scaled(node_count: usize, policy: PolicyKind, traffic_rate_pps: f64, seed: u64) -> Self {
+        let mut cfg = Self::paper_default(policy, traffic_rate_pps, seed);
+        assert!(node_count > 0, "scaled scenario needs nodes");
+        let side = 100.0 * (node_count as f64 / 100.0).sqrt();
+        cfg.node_count = node_count;
+        cfg.field = Field::new(side, side);
+        cfg
+    }
+
     /// Set the simulated horizon (builder style).
     pub fn with_duration(mut self, duration: Duration) -> Self {
         self.duration = duration;

@@ -65,6 +65,7 @@ pub mod result;
 pub mod runner;
 pub mod spec;
 pub mod sweep;
+pub mod table;
 
 pub use config::{
     ChurnConfig, ConfigError, ScenarioConfig, Topology, TrafficModel, TrafficProfile,
@@ -86,3 +87,4 @@ pub use result::{NodeSummary, SimulationResult};
 pub use runner::SimulationRun;
 pub use spec::{GridSpec, ResolvedGrid, ResolvedSpec};
 pub use sweep::{compare_policies, load_sweep, load_sweep_spec, LoadSweepPoint, PolicyComparison};
+pub use table::NodeTable;

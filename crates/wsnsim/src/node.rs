@@ -1,12 +1,10 @@
-//! Per-node simulation state.
+//! Per-node protocol components: traffic sources and threshold policies.
+//!
+//! The per-node *state* itself lives in [`crate::table::NodeTable`] as
+//! structure-of-arrays columns; this module keeps the closed enums the
+//! table's cold columns are made of, plus their factories.
 
 use caem::policy::{AdaptiveThreshold, FixedThreshold, NoAdaptation, PolicyKind, ThresholdPolicy};
-use caem_channel::geometry::Position;
-use caem_channel::link::LinkChannel;
-use caem_energy::battery::Battery;
-use caem_mac::sensor::SensorMac;
-use caem_phy::adaptation::ModeSelector;
-use caem_traffic::buffer::PacketBuffer;
 use caem_traffic::profile::{DiurnalCycle, ModulatedSource};
 use caem_traffic::source::{BurstySource, CbrSource, PoissonSource, TrafficSource};
 
@@ -164,65 +162,6 @@ pub fn build_source(
             base,
             DiurnalCycle::trough_start(period_s, relative_amplitude),
         ))),
-    }
-}
-
-/// The full per-node simulation state.
-pub struct SensorNode {
-    /// Node index.
-    pub id: usize,
-    /// Fixed position in the field.
-    pub position: Position,
-    /// Battery and energy ledger.
-    pub battery: Battery,
-    /// Outgoing packet buffer.
-    pub buffer: PacketBuffer,
-    /// MAC state machine.
-    pub mac: SensorMac,
-    /// CAEM / baseline threshold policy.
-    pub policy: NodePolicy,
-    /// Traffic generator.
-    pub source: NodeTrafficSource,
-    /// Channel to the current cluster head (absent while the node itself is
-    /// head or unassigned).
-    pub link: LinkChannel,
-    /// PHY mode selector for this node's transmissions.
-    pub selector: ModeSelector,
-    /// Is the node's battery still non-empty?
-    pub alive: bool,
-    /// Is the node serving as cluster head in the current round?
-    pub is_head: bool,
-    /// Cluster index the node belongs to this round (if any).
-    pub cluster: Option<usize>,
-    /// Packets this node delivered while serving as a head (its own data
-    /// reaches the sink for free).
-    pub self_delivered: u64,
-    /// Generation counter of MAC access attempts, used to invalidate stale
-    /// backoff events after a round change or abort.
-    pub access_generation: u64,
-}
-
-impl SensorNode {
-    /// Queue length visible to the MAC/policy.
-    pub fn queue_len(&self) -> usize {
-        self.buffer.len()
-    }
-
-    /// Remaining battery energy (J); zero once dead.
-    pub fn remaining_energy(&self) -> f64 {
-        self.battery.remaining()
-    }
-}
-
-impl std::fmt::Debug for SensorNode {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SensorNode")
-            .field("id", &self.id)
-            .field("alive", &self.alive)
-            .field("is_head", &self.is_head)
-            .field("queue", &self.buffer.len())
-            .field("remaining_j", &self.battery.remaining())
-            .finish()
     }
 }
 

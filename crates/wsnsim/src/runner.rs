@@ -1,20 +1,26 @@
 //! The discrete-event network simulation loop.
 //!
-//! One [`SimulationRun`] owns every node, the LEACH election state, the
-//! per-cluster channel occupancy and the metric trackers, and processes a
-//! typed [`NetworkEvent`] queue until the configured horizon.  All
-//! stochastic components draw from independent streams derived from the
-//! scenario seed, so a run is exactly reproducible and protocol comparisons
-//! use common random numbers.
+//! One [`SimulationRun`] owns the [`NodeTable`] (every node's state as
+//! hot/cold parallel columns), the LEACH election state, the per-cluster
+//! channel occupancy and the metric trackers, and processes a typed
+//! [`NetworkEvent`] queue until the configured horizon.  All stochastic
+//! components draw from independent streams derived from the scenario seed,
+//! so a run is exactly reproducible and protocol comparisons use common
+//! random numbers.
+//!
+//! Events are drained one *instant* at a time: every event scheduled for
+//! the current timestamp is popped into a reusable batch buffer (in FIFO
+//! delivery order, so the schedule is bit-identical to a one-at-a-time
+//! loop) and dispatched in runs of consecutive equal [`EventKind`]s.  At
+//! scale this stops the queue from round-tripping the heap per event and
+//! keeps the dispatch branch predicted within a run.
 
 use caem::policy::ThresholdPolicy;
-use caem_channel::geometry::Position;
-use caem_channel::link::LinkChannel;
 use caem_cluster::election::{ElectionConfig, LeachElection};
 use caem_cluster::formation::ClusterFormation;
 use caem_cluster::rounds::RoundClock;
-use caem_energy::battery::{Battery, EnergyCategory, EnergyLedger};
-use caem_mac::sensor::{SensorAction, SensorMac, SensorMacConfig, SensorMacState};
+use caem_energy::battery::EnergyCategory;
+use caem_mac::sensor::{SensorAction, SensorMacState};
 use caem_mac::tone::ChannelState;
 use caem_metrics::energy::EnergyTracker;
 use caem_metrics::fairness::QueueFairness;
@@ -22,18 +28,16 @@ use caem_metrics::lifetime::LifetimeTracker;
 use caem_metrics::perf::NetworkPerformance;
 use caem_phy::ber::packet_error_rate;
 use caem_phy::mode::TransmissionMode;
-use caem_phy::ModeSelector;
-use caem_simcore::event::EventQueue;
+use caem_simcore::event::{EventQueue, ScheduledEvent};
 use caem_simcore::rng::{components, RngStream, StreamRng};
 use caem_simcore::time::{Duration, SimTime};
-use caem_traffic::buffer::PacketBuffer;
 use caem_traffic::packet::{Packet, PacketIdAllocator};
 use caem_traffic::source::TrafficSource;
 
-use crate::config::ScenarioConfig;
-use crate::events::NetworkEvent;
-use crate::node::{build_policy, build_source, SensorNode};
+use crate::config::{ConfigError, ScenarioConfig};
+use crate::events::{EventKind, NetworkEvent};
 use crate::result::{NodeSummary, SimulationResult};
+use crate::table::NodeTable;
 
 /// A burst currently on the air.
 #[derive(Debug)]
@@ -61,7 +65,8 @@ pub struct SimulationRun {
     cfg: ScenarioConfig,
     now: SimTime,
     queue: EventQueue<NetworkEvent>,
-    nodes: Vec<SensorNode>,
+    /// Every node's state, hot/cold split into parallel columns.
+    table: NodeTable,
     election: LeachElection,
     round_clock: RoundClock,
     formation: Option<ClusterFormation>,
@@ -84,19 +89,13 @@ pub struct SimulationRun {
     bursts: u64,
     node_failures: u64,
     events_processed: u64,
-    generated_per_node: Vec<u64>,
-    delivered_per_node: Vec<u64>,
-    dropped_per_node: Vec<u64>,
     // ---- hot-path hoisted constants (derived from `cfg` once) ----
     /// Energy of one tone-channel observation window.
     tone_observation_energy_j: f64,
     /// Energy of acquiring the tone channel after wake-up.
     sensing_energy_j: f64,
-    // ---- reusable scratch buffers (avoid per-round/per-snapshot allocs) ----
-    scratch_alive: Vec<bool>,
-    scratch_positions: Vec<Position>,
-    scratch_f64: Vec<f64>,
-    scratch_queues: Vec<usize>,
+    /// Reusable same-instant batch buffer for the event loop.
+    batch: Vec<ScheduledEvent<NetworkEvent>>,
     /// Retired burst vectors, recycled by `start_burst` so steady-state burst
     /// traffic performs no allocations.
     burst_buffer_pool: Vec<Vec<Packet>>,
@@ -105,70 +104,23 @@ pub struct SimulationRun {
 impl SimulationRun {
     /// Deploy the network described by `cfg` and prime the event queue.
     ///
-    /// Panics when `cfg` is invalid — validate first (and surface the typed
-    /// [`crate::config::ConfigError`]) when the configuration comes from
+    /// Panics when `cfg` is invalid — use [`SimulationRun::try_new`] to
+    /// surface the typed [`ConfigError`] when the configuration comes from
     /// user input rather than code.
     pub fn new(cfg: ScenarioConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid scenario configuration: {e}");
+        match Self::try_new(cfg) {
+            Ok(run) => run,
+            Err(e) => panic!("invalid scenario configuration: {e}"),
         }
-        let streams = RngStream::new(cfg.seed);
-        let mut placement_rng = streams.derive(components::PLACEMENT, 0);
-        let positions = cfg
-            .topology
-            .generate(&cfg.field, cfg.node_count, &mut placement_rng);
+    }
 
-        let nodes: Vec<SensorNode> = (0..cfg.node_count)
-            .map(|id| {
-                let buffer = match cfg.buffer_capacity {
-                    Some(c) => PacketBuffer::with_capacity(c),
-                    None => PacketBuffer::unbounded(),
-                };
-                // Heterogeneous initial charge: each node draws its spread
-                // factor from its own stream, so adding heterogeneity never
-                // perturbs placement or any other random sequence.
-                let initial_energy = if cfg.initial_energy_spread > 0.0 {
-                    let spread = cfg.initial_energy_spread;
-                    let mut rng = streams.derive(components::HETEROGENEITY, id as u64);
-                    cfg.initial_energy_j * (1.0 + rng.uniform(-spread, spread))
-                } else {
-                    cfg.initial_energy_j
-                };
-                SensorNode {
-                    id,
-                    position: positions[id],
-                    battery: Battery::new(initial_energy),
-                    buffer,
-                    mac: SensorMac::new(
-                        SensorMacConfig {
-                            backoff: cfg.backoff,
-                            burst: cfg.burst,
-                        },
-                        streams.derive(components::BACKOFF, id as u64),
-                    ),
-                    policy: build_policy(cfg.policy, &cfg),
-                    source: build_source(
-                        cfg.traffic,
-                        cfg.traffic_profile,
-                        streams.derive(components::TRAFFIC, id as u64),
-                    ),
-                    link: LinkChannel::with_distance(
-                        cfg.field.diagonal(),
-                        cfg.link_budget,
-                        cfg.path_loss,
-                        cfg.shadowing,
-                        streams.derive(components::SHADOWING, id as u64),
-                        streams.derive(components::FADING, id as u64),
-                    ),
-                    selector: ModeSelector::default(),
-                    alive: true,
-                    is_head: false,
-                    cluster: None,
-                    self_delivered: 0,
-                    access_generation: 0,
-                }
-            })
-            .collect();
+    /// Deploy the network described by `cfg` and prime the event queue,
+    /// surfacing validation failures as a typed [`ConfigError`] instead of
+    /// panicking.
+    pub fn try_new(cfg: ScenarioConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let streams = RngStream::new(cfg.seed);
+        let table = NodeTable::deploy(&cfg, &streams);
 
         let mut queue = EventQueue::with_capacity(cfg.initial_queue_capacity());
         queue.push(SimTime::ZERO, NetworkEvent::RoundStart);
@@ -206,24 +158,18 @@ impl SimulationRun {
             bursts: 0,
             node_failures: 0,
             events_processed: 0,
-            generated_per_node: vec![0; cfg.node_count],
-            delivered_per_node: vec![0; cfg.node_count],
-            dropped_per_node: vec![0; cfg.node_count],
             tone_observation_energy_j,
             sensing_energy_j,
-            scratch_alive: Vec::with_capacity(cfg.node_count),
-            scratch_positions: Vec::with_capacity(cfg.node_count),
-            scratch_f64: Vec::with_capacity(cfg.node_count),
-            scratch_queues: Vec::with_capacity(cfg.node_count),
+            batch: Vec::new(),
             burst_buffer_pool: Vec::new(),
-            nodes,
+            table,
             now: SimTime::ZERO,
             queue,
             cfg,
         };
         // Prime the traffic: one pending arrival per node.
         for id in 0..run.cfg.node_count {
-            let first = run.nodes[id].source.next_arrival(SimTime::ZERO);
+            let first = run.table.source_mut(id).next_arrival(SimTime::ZERO);
             run.schedule(first, NetworkEvent::PacketArrival { node: id as u32 });
         }
         // Churn injection: every node draws one exponential failure time
@@ -236,7 +182,7 @@ impl SimulationRun {
                 run.schedule(at, NetworkEvent::NodeFailure { node: id as u32 });
             }
         }
-        run
+        Ok(run)
     }
 
     /// The scenario this run simulates.
@@ -249,6 +195,26 @@ impl SimulationRun {
         self.now
     }
 
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of currently live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.table.alive_count()
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Read-only access to the per-node state columns.
+    pub fn table(&self) -> &NodeTable {
+        &self.table
+    }
+
     fn schedule(&mut self, at: SimTime, event: NetworkEvent) {
         if at <= SimTime::ZERO + self.cfg.duration {
             self.queue.push(at.max(self.now), event);
@@ -257,12 +223,10 @@ impl SimulationRun {
 
     /// Draw energy from a node's battery, handling the death edge.
     fn draw_energy(&mut self, node: usize, category: EnergyCategory, joules: f64) {
-        if !self.nodes[node].alive || joules <= 0.0 {
+        if joules <= 0.0 {
             return;
         }
-        let died = self.nodes[node].battery.draw(category, joules);
-        if died {
-            self.nodes[node].alive = false;
+        if self.table.draw_energy(node, category, joules) {
             self.lifetime.record_death(node, self.now);
         }
     }
@@ -270,7 +234,7 @@ impl SimulationRun {
     /// The data-channel SNR the sensor infers from the tone channel right now.
     fn measure_snr(&mut self, node: usize) -> f64 {
         let now = self.now;
-        self.nodes[node].link.measure(now).snr_db
+        self.table.link_mut(node).measure(now).snr_db
     }
 
     /// The advertised state of a cluster's data channel.
@@ -295,7 +259,7 @@ impl SimulationRun {
     fn head_of(&self, node: usize) -> Option<usize> {
         let formation = self.formation.as_ref()?;
         let head = formation.head_of(node)?;
-        self.nodes[head].alive.then_some(head)
+        self.table.is_alive(head).then_some(head)
     }
 
     // ------------------------------------------------------------------
@@ -303,54 +267,52 @@ impl SimulationRun {
     // ------------------------------------------------------------------
 
     fn handle_round_start(&mut self) {
-        // The alive map and position vector are rebuilt every round into
-        // run-owned scratch buffers instead of fresh allocations.
-        let mut alive = std::mem::take(&mut self.scratch_alive);
-        alive.clear();
-        alive.extend(self.nodes.iter().map(|n| n.alive));
-        if !alive.iter().any(|&a| a) {
-            self.scratch_alive = alive;
+        if self.table.alive_count() == 0 {
             return; // whole network dead — no further rounds
         }
-        let mut positions = std::mem::take(&mut self.scratch_positions);
-        positions.clear();
-        positions.extend(self.nodes.iter().map(|n| n.position));
-        let heads = self.election.elect_round(&alive, &mut self.election_rng);
-        let formation = ClusterFormation::nearest_head(&positions, &heads, &alive);
-        self.scratch_alive = alive;
-        self.scratch_positions = positions;
+        // The election and the formation consume the table's hot columns
+        // directly: no per-round copies into scratch buffers.
+        let heads = self
+            .election
+            .elect_round(self.table.alive_slice(), &mut self.election_rng);
+        let formation = ClusterFormation::nearest_head(
+            self.table.positions(),
+            &heads,
+            self.table.alive_slice(),
+        );
         self.cluster_occupancy.clear();
         self.cluster_occupancy
             .resize(formation.cluster_count(), None);
 
-        for id in 0..self.nodes.len() {
-            if !self.nodes[id].alive {
+        for id in 0..self.table.len() {
+            if !self.table.is_alive(id) {
                 continue;
             }
             let is_head = formation.is_head(id);
             let cluster = formation.cluster_of(id);
             let distance = formation
                 .head_of(id)
-                .map(|h| self.nodes[id].position.distance_to(&self.nodes[h].position))
+                .map(|h| {
+                    let positions = self.table.positions();
+                    positions[id].distance_to(&positions[h])
+                })
                 .unwrap_or(0.0);
-            let node = &mut self.nodes[id];
-            node.is_head = is_head;
-            node.cluster = cluster;
-            node.policy.on_round_change();
-            node.access_generation += 1;
+            self.table.begin_round(id, is_head, cluster);
             if !is_head {
-                node.link.set_distance(distance.max(1.0));
+                self.table.link_mut(id).set_distance(distance.max(1.0));
             }
             // A node that just became head drains its backlog straight into
             // its own aggregation queue: those packets have reached a sink.
             if is_head {
-                let backlog = node.buffer.dequeue_burst(usize::MAX >> 1);
-                for p in backlog {
+                let mut backlog = self.burst_buffer_pool.pop().unwrap_or_default();
+                self.table
+                    .dequeue_burst_into(id, usize::MAX >> 1, &mut backlog);
+                for p in &backlog {
                     self.perf
                         .record_delivered(p.delay_at(self.now), p.size_bits);
-                    self.delivered_per_node[id] += 1;
-                    self.nodes[id].self_delivered += 1;
                 }
+                self.table.record_self_delivered(id, backlog.len() as u64);
+                self.recycle_burst_buffer(backlog);
             }
         }
         self.formation = Some(formation);
@@ -359,23 +321,22 @@ impl SimulationRun {
     }
 
     fn handle_packet_arrival(&mut self, node: usize) {
-        if !self.nodes[node].alive {
+        if !self.table.is_alive(node) {
             return;
         }
         // Schedule the next arrival first so the source keeps flowing.
-        let next = self.nodes[node].source.next_arrival(self.now);
+        let next = self.table.source_mut(node).next_arrival(self.now);
         self.schedule(next, NetworkEvent::PacketArrival { node: node as u32 });
 
-        self.generated_per_node[node] += 1;
+        self.table.record_generated(node);
         self.perf.record_generated();
 
-        if self.nodes[node].is_head {
+        if self.table.is_head(node) {
             // The head is the sink of its own cluster: its data is delivered
             // without using the shared data channel.
             self.perf
                 .record_delivered(Duration::ZERO, self.cfg.frame.payload_bits);
-            self.delivered_per_node[node] += 1;
-            self.nodes[node].self_delivered += 1;
+            self.table.record_self_delivered(node, 1);
             return;
         }
 
@@ -385,21 +346,21 @@ impl SimulationRun {
             self.now,
             self.cfg.frame.payload_bits,
         );
-        let accepted = self.nodes[node].buffer.enqueue(packet);
+        let accepted = self.table.enqueue(node, packet);
         if !accepted {
             self.perf.record_dropped_overflow();
-            self.dropped_per_node[node] += 1;
+            self.table.record_dropped(node);
         }
-        let queue_len = self.nodes[node].buffer.len();
-        self.nodes[node].policy.on_packet_arrival(queue_len);
+        let queue_len = self.table.queue_len(node);
+        self.table.policy_mut(node).on_packet_arrival(queue_len);
 
         // Wake the MAC only when a transmission could actually be worth the
         // radio start-up (enough packets, or overflow pressure).
-        let urgent = self.nodes[node].policy.is_urgent(queue_len);
-        if self.nodes[node].mac.state() == SensorMacState::Sleep
+        let urgent = self.table.policy(node).is_urgent(queue_len);
+        if self.table.mac(node).state() == SensorMacState::Sleep
             && self.cfg.burst.should_transmit(queue_len, urgent)
         {
-            let action = self.nodes[node].mac.packets_pending(queue_len);
+            let action = self.table.mac_mut(node).packets_pending(queue_len);
             if action == SensorAction::StartSensing {
                 // Acquiring the tone channel costs the sensing delay with the
                 // tone radio fully on.
@@ -419,35 +380,34 @@ impl SimulationRun {
     /// model — the expensive CSI derivation happens lazily inside the MAC,
     /// and only on the branches whose decision depends on it.
     fn observation_context(&self, node: usize) -> (Option<ChannelState>, f64, usize, bool) {
-        let state = match (self.head_of(node), self.nodes[node].cluster) {
+        let state = match (self.head_of(node), self.table.cluster(node)) {
             (Some(_), Some(cluster)) => Some(self.channel_state(cluster)),
             _ => None,
         };
-        let n = &self.nodes[node];
-        let queue_len = n.buffer.len();
-        let threshold = n.policy.required_snr_db();
-        let urgent = n.policy.is_urgent(queue_len);
+        let queue_len = self.table.queue_len(node);
+        let policy = self.table.policy(node);
+        let threshold = policy.required_snr_db();
+        let urgent = policy.is_urgent(queue_len);
         (state, threshold, queue_len, urgent)
     }
 
     fn handle_sense_channel(&mut self, node: usize) {
+        if !self.table.is_alive(node)
+            || self.table.is_head(node)
+            || self.table.mac(node).state() != SensorMacState::Sensing
         {
-            // One bounds-checked access for all three liveness gates.
-            let n = &self.nodes[node];
-            if !n.alive || n.is_head || n.mac.state() != SensorMacState::Sensing {
-                return; // dead, promoted to head, or stale event
-            }
+            return; // dead, promoted to head, or stale event
         }
         let observation_energy = self.tone_observation_energy_j;
         self.draw_energy(node, EnergyCategory::ToneReceive, observation_energy);
-        if !self.nodes[node].alive {
+        if !self.table.is_alive(node) {
             return;
         }
 
         let (state, threshold, queue_len, urgent) = self.observation_context(node);
         let observed_state = state;
         let now = self.now;
-        let SensorNode { mac, link, .. } = &mut self.nodes[node];
+        let (mac, link) = self.table.mac_link_mut(node);
         let action = mac.observe_tone_lazy(
             state,
             || link.measure(now).snr_db,
@@ -491,15 +451,15 @@ impl SimulationRun {
     }
 
     fn handle_backoff_expired(&mut self, node: usize) {
+        if !self.table.is_alive(node)
+            || self.table.is_head(node)
+            || self.table.mac(node).state() != SensorMacState::Backoff
         {
-            let n = &self.nodes[node];
-            if !n.alive || n.is_head || n.mac.state() != SensorMacState::Backoff {
-                return; // dead, promoted to head, or stale event
-            }
+            return; // dead, promoted to head, or stale event
         }
         let (state, threshold, queue_len, urgent) = self.observation_context(node);
         let now = self.now;
-        let SensorNode { mac, link, .. } = &mut self.nodes[node];
+        let (mac, link) = self.table.mac_link_mut(node);
         let action = mac.backoff_expired_lazy(
             state,
             || link.measure(now).snr_db,
@@ -530,12 +490,12 @@ impl SimulationRun {
     }
 
     fn abort_after_collision(&mut self, node: usize, resume_at: SimTime) {
-        let (_, may_retry) = self.nodes[node].mac.collision_detected();
-        if !may_retry && self.nodes[node].buffer.dequeue().is_some() {
+        let (_, may_retry) = self.table.mac_mut(node).collision_detected();
+        if !may_retry && self.table.dequeue(node).is_some() {
             self.perf.record_dropped_abandoned();
-            self.dropped_per_node[node] += 1;
+            self.table.record_dropped(node);
         }
-        if self.nodes[node].alive && !self.nodes[node].buffer.is_empty() {
+        if self.table.is_alive(node) && self.table.queue_len(node) > 0 {
             self.schedule(resume_at, NetworkEvent::SenseChannel { node: node as u32 });
         }
     }
@@ -544,33 +504,32 @@ impl SimulationRun {
         // The data radio start-up transient is paid before any bit moves.
         let startup_energy = self.cfg.power.startup_energy();
         self.draw_energy(node, EnergyCategory::Startup, startup_energy);
-        if !self.nodes[node].alive {
+        if !self.table.is_alive(node) {
             return;
         }
         let begin = self.now + self.cfg.power.startup_time;
 
         let snr_db = self.measure_snr(node);
-        let Some(mode) = self.nodes[node].selector.select(snr_db) else {
+        let Some(mode) = self.table.selector_mut(node).select(snr_db) else {
             // The channel collapsed below the lowest mode between the check
             // and the start-up: treat as a failed access attempt.
             self.abort_after_collision(node, begin + Duration::from_millis(20));
             return;
         };
 
-        let (Some(cluster), Some(head)) = (self.nodes[node].cluster, self.head_of(node)) else {
+        let (Some(cluster), Some(head)) = (self.table.cluster(node), self.head_of(node)) else {
             self.abort_after_collision(node, begin + Duration::from_millis(20));
             return;
         };
 
         let mut packets = self.burst_buffer_pool.pop().unwrap_or_default();
-        self.nodes[node]
-            .buffer
-            .dequeue_burst_into(burst_size, &mut packets);
+        self.table
+            .dequeue_burst_into(node, burst_size, &mut packets);
         if packets.is_empty() {
             // Nothing to send after all (racing round change drained the
             // buffer); put the MAC back to sleep via burst completion.
             self.burst_buffer_pool.push(packets);
-            let _ = self.nodes[node].mac.burst_complete(0);
+            let _ = self.table.mac_mut(node).burst_complete(0);
             return;
         }
         let airtime = self.cfg.frame.burst_airtime(mode, packets.len() as u64);
@@ -598,7 +557,7 @@ impl SimulationRun {
             self.draw_energy(node, EnergyCategory::CollisionWaste, tx_waste);
             let rx_waste = self.cfg.power.receive_energy(frame_airtime);
             self.draw_energy(head, EnergyCategory::CollisionWaste, rx_waste);
-            self.nodes[node].buffer.requeue_front_drain(&mut packets);
+            self.table.requeue_front_drain(node, &mut packets);
             self.burst_buffer_pool.push(packets);
             self.abort_after_collision(node, begin + frame_airtime + Duration::from_millis(20));
             return;
@@ -646,20 +605,20 @@ impl SimulationRun {
         {
             self.cluster_occupancy[burst.cluster] = None;
         }
-        if !self.nodes[node].alive {
+        if !self.table.is_alive(node) {
             // Died mid-burst; the energy is already spent, data lost.
             self.recycle_burst_buffer(burst.packets);
             return;
         }
         if burst.collided {
             let mut packets = burst.packets;
-            self.nodes[node].buffer.requeue_front_drain(&mut packets);
+            self.table.requeue_front_drain(node, &mut packets);
             self.burst_buffer_pool.push(packets);
             self.abort_after_collision(node, self.now + Duration::from_millis(20));
             return;
         }
         // Per-packet channel-error draw at the SNR seen during the burst.
-        let head_alive = self.nodes[burst.head].alive;
+        let head_alive = self.table.is_alive(burst.head);
         let snr_db = self.measure_snr(node);
         let per = packet_error_rate(
             burst.mode.modulation(),
@@ -672,13 +631,13 @@ impl SimulationRun {
             if head_alive && !corrupted {
                 self.perf
                     .record_delivered(packet.delay_at(self.now), packet.size_bits);
-                self.delivered_per_node[node] += 1;
+                self.table.record_delivered(node);
             }
         }
         self.recycle_burst_buffer(burst.packets);
-        let queue_len = self.nodes[node].buffer.len();
-        self.nodes[node].policy.on_packets_sent(queue_len);
-        let action = self.nodes[node].mac.burst_complete(queue_len);
+        let queue_len = self.table.queue_len(node);
+        self.table.policy_mut(node).on_packets_sent(queue_len);
+        let action = self.table.mac_mut(node).burst_complete(queue_len);
         if action == SensorAction::StartSensing {
             self.schedule(
                 self.now + self.cfg.sensing_delay,
@@ -692,12 +651,10 @@ impl SimulationRun {
     /// cell did not), it simply stops participating — any burst it had on
     /// the air is cleaned up by the usual stale-event paths.
     fn handle_node_failure(&mut self, node: usize) {
-        if !self.nodes[node].alive {
-            return; // already dead of battery depletion
+        if self.table.fail_node(node) {
+            self.node_failures += 1;
+            self.lifetime.record_death(node, self.now);
         }
-        self.nodes[node].alive = false;
-        self.node_failures += 1;
-        self.lifetime.record_death(node, self.now);
     }
 
     fn handle_energy_snapshot(&mut self) {
@@ -707,41 +664,32 @@ impl SimulationRun {
         let sleep_energy = self.cfg.power.data_sleep_w * interval.as_secs_f64();
         let idle_duty = self.cfg.tone.duty_cycle(ChannelState::Idle);
         let head_tone_energy = self.cfg.power.tone_tx_w * idle_duty * interval.as_secs_f64();
-        let mut remaining = std::mem::take(&mut self.scratch_f64);
-        remaining.clear();
-        let mut any_alive = false;
-        for id in 0..self.nodes.len() {
-            if self.nodes[id].alive {
+        for id in 0..self.table.len() {
+            if self.table.is_alive(id) {
                 self.draw_energy(id, EnergyCategory::Sleep, sleep_energy);
-                if self.nodes[id].is_head {
+                if self.table.is_head(id) {
                     self.draw_energy(id, EnergyCategory::ToneTransmit, head_tone_energy);
                 }
             }
-            // Remaining energy is read after the draws so a node dying of its
-            // sleep cost snapshots as empty, like the original two-pass code.
-            remaining.push(self.nodes[id].remaining_energy());
-            any_alive |= self.nodes[id].alive;
         }
-        self.energy.snapshot(self.now, &remaining);
-        self.scratch_f64 = remaining;
-        if any_alive {
+        // The remaining-energy column is read after the draws, so a node
+        // dying of its sleep cost snapshots as empty — and the tracker takes
+        // the hot column directly, with no per-snapshot copy.
+        self.energy.snapshot(self.now, self.table.remaining_slice());
+        if self.table.alive_count() > 0 {
             self.schedule(self.now + interval, NetworkEvent::EnergySnapshot);
         }
     }
 
     fn handle_fairness_snapshot(&mut self) {
-        let mut queues = std::mem::take(&mut self.scratch_queues);
-        queues.clear();
-        let mut any_alive = false;
-        for n in &self.nodes {
-            any_alive |= n.alive;
-            if n.alive && !n.is_head {
-                queues.push(n.buffer.len());
-            }
-        }
-        self.fairness.snapshot(&queues);
-        self.scratch_queues = queues;
-        if any_alive {
+        // The fairness tracker reads the hot queue-length column through the
+        // alive/is-head masks directly — no filtered copy.
+        self.fairness.snapshot_masked(
+            self.table.queue_len_slice(),
+            self.table.alive_slice(),
+            self.table.is_head_slice(),
+        );
+        if self.table.alive_count() > 0 {
             self.schedule(
                 self.now + self.cfg.fairness_snapshot_interval,
                 NetworkEvent::FairnessSnapshot,
@@ -749,52 +697,123 @@ impl SimulationRun {
         }
     }
 
-    /// Run the simulation to the configured horizon and collect the result.
-    pub fn run(mut self) -> SimulationResult {
-        let horizon = SimTime::ZERO + self.cfg.duration;
-        while let Some(event) = self.queue.pop_if_at_or_before(horizon) {
-            debug_assert!(event.time >= self.now);
-            self.now = event.time;
-            self.events_processed += 1;
-            match event.event {
-                NetworkEvent::RoundStart => self.handle_round_start(),
-                NetworkEvent::PacketArrival { node } => self.handle_packet_arrival(node as usize),
-                NetworkEvent::SenseChannel { node } => self.handle_sense_channel(node as usize),
-                NetworkEvent::BackoffExpired { node } => self.handle_backoff_expired(node as usize),
-                NetworkEvent::TransmissionComplete { node } => {
-                    self.handle_transmission_complete(node as usize)
-                }
-                NetworkEvent::NodeFailure { node } => self.handle_node_failure(node as usize),
-                NetworkEvent::EnergySnapshot => self.handle_energy_snapshot(),
-                NetworkEvent::FairnessSnapshot => self.handle_fairness_snapshot(),
+    /// Dispatch one same-instant batch: consecutive events of equal kind are
+    /// grouped into runs and dispatched together, preserving the exact FIFO
+    /// delivery order within the instant.
+    fn dispatch_batch(&mut self, batch: &[ScheduledEvent<NetworkEvent>]) {
+        let mut i = 0;
+        while i < batch.len() {
+            let kind = batch[i].event.kind();
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].event.kind() == kind {
+                j += 1;
             }
+            let run = &batch[i..j];
+            self.events_processed += run.len() as u64;
+            match kind {
+                EventKind::PacketArrival => {
+                    for e in run {
+                        let NetworkEvent::PacketArrival { node } = e.event else {
+                            unreachable!("kind-grouped run");
+                        };
+                        self.handle_packet_arrival(node as usize);
+                    }
+                }
+                EventKind::SenseChannel => {
+                    for e in run {
+                        let NetworkEvent::SenseChannel { node } = e.event else {
+                            unreachable!("kind-grouped run");
+                        };
+                        self.handle_sense_channel(node as usize);
+                    }
+                }
+                EventKind::BackoffExpired => {
+                    for e in run {
+                        let NetworkEvent::BackoffExpired { node } = e.event else {
+                            unreachable!("kind-grouped run");
+                        };
+                        self.handle_backoff_expired(node as usize);
+                    }
+                }
+                EventKind::TransmissionComplete => {
+                    for e in run {
+                        let NetworkEvent::TransmissionComplete { node } = e.event else {
+                            unreachable!("kind-grouped run");
+                        };
+                        self.handle_transmission_complete(node as usize);
+                    }
+                }
+                EventKind::NodeFailure => {
+                    for e in run {
+                        let NetworkEvent::NodeFailure { node } = e.event else {
+                            unreachable!("kind-grouped run");
+                        };
+                        self.handle_node_failure(node as usize);
+                    }
+                }
+                EventKind::RoundStart => {
+                    for _ in run {
+                        self.handle_round_start();
+                    }
+                }
+                EventKind::EnergySnapshot => {
+                    for _ in run {
+                        self.handle_energy_snapshot();
+                    }
+                }
+                EventKind::FairnessSnapshot => {
+                    for _ in run {
+                        self.handle_fairness_snapshot();
+                    }
+                }
+            }
+            i = j;
         }
-        self.finish(horizon)
     }
 
-    fn finish(mut self, horizon: SimTime) -> SimulationResult {
-        self.now = self.now.max(horizon.min(SimTime::ZERO + self.cfg.duration));
+    /// Process events up to (and including) `until`, clamped to the
+    /// scenario horizon.  Returns the number of events processed by this
+    /// call.  The stress harness steps a run tick by tick through this
+    /// method; [`SimulationRun::run`] is one call over the whole horizon.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let deadline = until.min(SimTime::ZERO + self.cfg.duration);
+        let before = self.events_processed;
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(at) = self.queue.pop_batch_at_or_before(deadline, &mut batch) {
+            debug_assert!(at >= self.now);
+            self.now = at;
+            self.dispatch_batch(&batch);
+        }
+        self.batch = batch;
+        self.events_processed - before
+    }
+
+    /// Run the simulation to the configured horizon and collect the result.
+    pub fn run(mut self) -> SimulationResult {
+        self.run_until(SimTime::ZERO + self.cfg.duration);
+        self.finish()
+    }
+
+    /// Collect the result of a run stepped via [`SimulationRun::run_until`].
+    /// Advances the clock to the horizon (pending events past it are
+    /// discarded, exactly as [`SimulationRun::run`] leaves them).
+    pub fn finish(mut self) -> SimulationResult {
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        self.now = self.now.max(horizon);
         // Final energy snapshot so the Fig. 8 curve reaches the horizon.
-        let remaining: Vec<f64> = self.nodes.iter().map(|n| n.remaining_energy()).collect();
-        self.energy.snapshot(self.now, &remaining);
+        self.energy.snapshot(self.now, self.table.remaining_slice());
         self.perf.set_horizon(self.now);
 
-        let mut ledger = EnergyLedger::new();
-        for n in &self.nodes {
-            ledger.merge(n.battery.ledger());
-        }
+        let ledger = self.table.merged_ledger();
         let head_counts = self.election.head_counts().to_vec();
-        let nodes: Vec<NodeSummary> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(id, n)| NodeSummary {
+        let nodes: Vec<NodeSummary> = (0..self.table.len())
+            .map(|id| NodeSummary {
                 id,
-                remaining_energy_j: n.remaining_energy(),
+                remaining_energy_j: self.table.remaining(id),
                 death_time: self.lifetime.death_times()[id],
-                generated: self.generated_per_node[id],
-                delivered: self.delivered_per_node[id],
-                dropped: self.dropped_per_node[id],
+                generated: self.table.generated(id),
+                delivered: self.table.delivered(id),
+                dropped: self.table.dropped(id),
                 head_terms: head_counts[id],
             })
             .collect();
@@ -841,6 +860,47 @@ mod tests {
         assert!(r.perf.delivered() > 0);
         assert!(r.bursts > 0);
         assert_eq!(r.nodes.len(), 20);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors_instead_of_panicking() {
+        let mut cfg = ScenarioConfig::small(PolicyKind::PureLeach, 5.0, 1);
+        cfg.node_count = 0;
+        let err = match SimulationRun::try_new(cfg) {
+            Ok(_) => panic!("zero nodes must be rejected"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("node_count"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn stepped_run_matches_one_shot_run() {
+        // run_until in arbitrary increments + finish must be bit-identical
+        // to a single run() over the same scenario.
+        let cfg = ScenarioConfig::small(PolicyKind::Scheme1Adaptive, 5.0, 31);
+        let one_shot = SimulationRun::new(cfg.clone()).run();
+        let mut stepped = SimulationRun::new(cfg);
+        let mut total = 0;
+        for tick in [7u64, 13, 25, 40, 59, 60, 61] {
+            total += stepped.run_until(SimTime::from_secs(tick));
+        }
+        let r = stepped.finish();
+        assert_eq!(total, r.events_processed);
+        assert_eq!(r.events_processed, one_shot.events_processed);
+        assert_eq!(r.perf.delivered(), one_shot.perf.delivered());
+        assert_eq!(r.collisions, one_shot.collisions);
+        assert_eq!(
+            r.ledger.total().to_bits(),
+            one_shot.ledger.total().to_bits()
+        );
+        for (a, b) in r.nodes.iter().zip(&one_shot.nodes) {
+            assert_eq!(
+                a.remaining_energy_j.to_bits(),
+                b.remaining_energy_j.to_bits()
+            );
+            assert_eq!(a.delivered, b.delivered);
+        }
     }
 
     #[test]

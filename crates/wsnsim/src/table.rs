@@ -1,0 +1,487 @@
+//! Structure-of-arrays per-node state.
+//!
+//! [`NodeTable`] replaces the former `Vec<SensorNode>` (one heavyweight
+//! struct per node) with parallel columns split by access pattern:
+//!
+//! * **Hot columns** — liveness, head flag, cluster index, queue length,
+//!   remaining energy, the access generation and the per-node packet
+//!   counters — are what the event loop and the per-round snapshots touch
+//!   for *every* node.  Packed contiguously they stream through cache, and
+//!   the metric trackers consume them as plain slices with no per-round
+//!   copies into scratch buffers.
+//! * **Cold columns** — position, battery ledger, MAC state machine,
+//!   threshold policy, traffic source, link channel and PHY mode selector —
+//!   are only touched by the single node an event addresses, so they no
+//!   longer ride along every cache line of the hot path.
+//!
+//! The queue-length and remaining-energy columns are *mirrors* of state
+//! owned by the cold buffers and batteries.  Every mutation of a buffer or
+//! battery therefore goes through a table method that updates the mirror in
+//! the same breath; the cold objects are never handed out mutably.  The
+//! model-based test in `tests/node_table_model.rs` drives random operation
+//! traces against a reference array-of-structs implementation to pin the
+//! mirrors bit-exactly.
+
+use caem::policy::ThresholdPolicy;
+use caem_channel::geometry::Position;
+use caem_channel::link::LinkChannel;
+use caem_energy::battery::{Battery, EnergyCategory, EnergyLedger};
+use caem_mac::sensor::{SensorMac, SensorMacConfig};
+use caem_phy::ModeSelector;
+use caem_simcore::rng::{components, RngStream};
+use caem_traffic::buffer::PacketBuffer;
+use caem_traffic::packet::Packet;
+
+use crate::config::ScenarioConfig;
+use crate::node::{build_policy, build_source, NodePolicy, NodeTrafficSource};
+
+/// Sentinel in the cluster column: the node is not assigned this round.
+const NO_CLUSTER: u32 = u32::MAX;
+
+/// All per-node simulation state, as parallel hot/cold columns.
+pub struct NodeTable {
+    // ---- hot columns: touched by the event loop and round snapshots ----
+    /// Liveness mask (battery depleted or churn-failed ⇒ `false`).
+    alive: Vec<bool>,
+    /// Cluster-head flag for the current round.
+    is_head: Vec<bool>,
+    /// Cluster index for the current round (`NO_CLUSTER` = unassigned).
+    cluster: Vec<u32>,
+    /// Mirror of each node's packet-buffer length.
+    queue_len: Vec<u32>,
+    /// Mirror of each node's remaining battery energy (J).
+    remaining_j: Vec<f64>,
+    /// Generation counter of MAC access attempts (bumped every round).
+    access_generation: Vec<u32>,
+    /// Packets generated per node.
+    generated: Vec<u64>,
+    /// Packets delivered per node (burst deliveries + head self-delivery).
+    delivered: Vec<u64>,
+    /// Packets dropped per node (overflow + abandoned retries).
+    dropped: Vec<u64>,
+    /// Of `delivered`, packets a node sank for free while serving as head.
+    self_delivered: Vec<u64>,
+    /// Number of `true` entries in `alive`.
+    alive_count: usize,
+
+    // ---- cold columns: touched only by the owning node's events ----
+    positions: Vec<Position>,
+    batteries: Vec<Battery>,
+    buffers: Vec<PacketBuffer>,
+    macs: Vec<SensorMac>,
+    policies: Vec<NodePolicy>,
+    sources: Vec<NodeTrafficSource>,
+    links: Vec<LinkChannel>,
+    selectors: Vec<ModeSelector>,
+}
+
+impl NodeTable {
+    /// Deploy `cfg.node_count` nodes: place them with the scenario topology,
+    /// seed every per-node random stream and charge the (possibly
+    /// heterogeneous) batteries.
+    ///
+    /// Stream derivation is a pure function of `(component, node)`, so
+    /// building column-by-column consumes exactly the random numbers the
+    /// node-by-node constructor did.
+    pub fn deploy(cfg: &ScenarioConfig, streams: &RngStream) -> Self {
+        let n = cfg.node_count;
+        let mut placement_rng = streams.derive(components::PLACEMENT, 0);
+        let positions = cfg.topology.generate(&cfg.field, n, &mut placement_rng);
+
+        let batteries: Vec<Battery> = (0..n)
+            .map(|id| {
+                // Heterogeneous initial charge: each node draws its spread
+                // factor from its own stream, so adding heterogeneity never
+                // perturbs placement or any other random sequence.
+                let initial_energy = if cfg.initial_energy_spread > 0.0 {
+                    let spread = cfg.initial_energy_spread;
+                    let mut rng = streams.derive(components::HETEROGENEITY, id as u64);
+                    cfg.initial_energy_j * (1.0 + rng.uniform(-spread, spread))
+                } else {
+                    cfg.initial_energy_j
+                };
+                Battery::new(initial_energy)
+            })
+            .collect();
+        let remaining_j: Vec<f64> = batteries.iter().map(|b| b.remaining()).collect();
+
+        let buffers = (0..n)
+            .map(|_| match cfg.buffer_capacity {
+                Some(c) => PacketBuffer::with_capacity(c),
+                None => PacketBuffer::unbounded(),
+            })
+            .collect();
+        let macs = (0..n)
+            .map(|id| {
+                SensorMac::new(
+                    SensorMacConfig {
+                        backoff: cfg.backoff,
+                        burst: cfg.burst,
+                    },
+                    streams.derive(components::BACKOFF, id as u64),
+                )
+            })
+            .collect();
+        let policies = (0..n).map(|_| build_policy(cfg.policy, cfg)).collect();
+        let sources = (0..n)
+            .map(|id| {
+                build_source(
+                    cfg.traffic,
+                    cfg.traffic_profile,
+                    streams.derive(components::TRAFFIC, id as u64),
+                )
+            })
+            .collect();
+        let links = (0..n)
+            .map(|id| {
+                LinkChannel::with_distance(
+                    cfg.field.diagonal(),
+                    cfg.link_budget,
+                    cfg.path_loss,
+                    cfg.shadowing,
+                    streams.derive(components::SHADOWING, id as u64),
+                    streams.derive(components::FADING, id as u64),
+                )
+            })
+            .collect();
+
+        NodeTable {
+            alive: vec![true; n],
+            is_head: vec![false; n],
+            cluster: vec![NO_CLUSTER; n],
+            queue_len: vec![0; n],
+            remaining_j,
+            access_generation: vec![0; n],
+            generated: vec![0; n],
+            delivered: vec![0; n],
+            dropped: vec![0; n],
+            self_delivered: vec![0; n],
+            alive_count: n,
+            positions,
+            batteries,
+            buffers,
+            macs,
+            policies,
+            sources,
+            links,
+            selectors: (0..n).map(|_| ModeSelector::default()).collect(),
+        }
+    }
+
+    /// Number of nodes (alive or dead).
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True when the table holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Is `node` alive?
+    #[inline]
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// The liveness column — feeds the LEACH election and cluster formation
+    /// directly, with no per-round copy.
+    #[inline]
+    pub fn alive_slice(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Every node's position (cold, but contiguous by construction).
+    #[inline]
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Is `node` serving as cluster head this round?
+    #[inline]
+    pub fn is_head(&self, node: usize) -> bool {
+        self.is_head[node]
+    }
+
+    /// The cluster `node` belongs to this round, if any.
+    #[inline]
+    pub fn cluster(&self, node: usize) -> Option<usize> {
+        let c = self.cluster[node];
+        (c != NO_CLUSTER).then_some(c as usize)
+    }
+
+    /// Mirror of `node`'s packet-buffer length.
+    #[inline]
+    pub fn queue_len(&self, node: usize) -> usize {
+        self.queue_len[node] as usize
+    }
+
+    /// The queue-length column (fairness snapshots read it wholesale).
+    #[inline]
+    pub fn queue_len_slice(&self) -> &[u32] {
+        &self.queue_len
+    }
+
+    /// The head-flag column.
+    #[inline]
+    pub fn is_head_slice(&self) -> &[bool] {
+        &self.is_head
+    }
+
+    /// Mirror of `node`'s remaining battery energy (J).
+    #[inline]
+    pub fn remaining(&self, node: usize) -> f64 {
+        self.remaining_j[node]
+    }
+
+    /// The remaining-energy column — the energy tracker snapshots it
+    /// directly, with no per-snapshot copy.
+    #[inline]
+    pub fn remaining_slice(&self) -> &[f64] {
+        &self.remaining_j
+    }
+
+    /// `node`'s access generation (bumped by [`NodeTable::begin_round`]).
+    #[inline]
+    pub fn access_generation(&self, node: usize) -> u32 {
+        self.access_generation[node]
+    }
+
+    // ------------------------------------------------------------------
+    // Round bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Install `node`'s role for a new round: head flag, cluster assignment,
+    /// policy round notification and access-generation bump.
+    pub fn begin_round(&mut self, node: usize, is_head: bool, cluster: Option<usize>) {
+        self.is_head[node] = is_head;
+        self.cluster[node] = match cluster {
+            Some(c) => c as u32,
+            None => NO_CLUSTER,
+        };
+        self.policies[node].on_round_change();
+        self.access_generation[node] = self.access_generation[node].wrapping_add(1);
+    }
+
+    // ------------------------------------------------------------------
+    // Battery (with remaining-energy mirror)
+    // ------------------------------------------------------------------
+
+    /// Draw `joules` from `node`'s battery.  Returns `true` when this draw
+    /// depleted the battery (the node is marked dead); the caller records
+    /// the death time.  Draws on dead nodes are ignored.
+    pub fn draw_energy(&mut self, node: usize, category: EnergyCategory, joules: f64) -> bool {
+        if !self.alive[node] {
+            return false;
+        }
+        let died = self.batteries[node].draw(category, joules);
+        self.remaining_j[node] = self.batteries[node].remaining();
+        if died {
+            self.alive[node] = false;
+            self.alive_count -= 1;
+        }
+        died
+    }
+
+    /// Kill `node` for a non-energy reason (churn): the battery keeps its
+    /// charge, the node simply stops participating.  Returns `true` when the
+    /// node was alive.
+    pub fn fail_node(&mut self, node: usize) -> bool {
+        if !self.alive[node] {
+            return false;
+        }
+        self.alive[node] = false;
+        self.alive_count -= 1;
+        true
+    }
+
+    /// Merge every node's energy ledger into one network-wide ledger.
+    pub fn merged_ledger(&self) -> EnergyLedger {
+        let mut ledger = EnergyLedger::new();
+        for battery in &self.batteries {
+            ledger.merge(battery.ledger());
+        }
+        ledger
+    }
+
+    // ------------------------------------------------------------------
+    // Packet buffer (with queue-length mirror)
+    // ------------------------------------------------------------------
+
+    /// Try to enqueue a packet on `node`'s buffer.  Returns `false` on
+    /// overflow.
+    pub fn enqueue(&mut self, node: usize, packet: Packet) -> bool {
+        let accepted = self.buffers[node].enqueue(packet);
+        self.queue_len[node] = self.buffers[node].len() as u32;
+        accepted
+    }
+
+    /// Dequeue `node`'s head-of-line packet.
+    pub fn dequeue(&mut self, node: usize) -> Option<Packet> {
+        let p = self.buffers[node].dequeue();
+        self.queue_len[node] = self.buffers[node].len() as u32;
+        p
+    }
+
+    /// Dequeue up to `count` packets from `node`, appending them to `out`.
+    pub fn dequeue_burst_into(&mut self, node: usize, count: usize, out: &mut Vec<Packet>) {
+        self.buffers[node].dequeue_burst_into(count, out);
+        self.queue_len[node] = self.buffers[node].len() as u32;
+    }
+
+    /// Return an aborted burst's packets to the *front* of `node`'s buffer,
+    /// draining `packets` in place.
+    pub fn requeue_front_drain(&mut self, node: usize, packets: &mut Vec<Packet>) {
+        self.buffers[node].requeue_front_drain(packets);
+        self.queue_len[node] = self.buffers[node].len() as u32;
+    }
+
+    // ------------------------------------------------------------------
+    // Per-node packet counters
+    // ------------------------------------------------------------------
+
+    /// Count one generated packet.
+    #[inline]
+    pub fn record_generated(&mut self, node: usize) {
+        self.generated[node] += 1;
+    }
+
+    /// Count one packet delivered over the air.
+    #[inline]
+    pub fn record_delivered(&mut self, node: usize) {
+        self.delivered[node] += 1;
+    }
+
+    /// Count `count` packets a serving head sank for free (its own data
+    /// reaches the sink without using the shared channel).
+    #[inline]
+    pub fn record_self_delivered(&mut self, node: usize, count: u64) {
+        self.delivered[node] += count;
+        self.self_delivered[node] += count;
+    }
+
+    /// Count one dropped packet (overflow or abandoned retry).
+    #[inline]
+    pub fn record_dropped(&mut self, node: usize) {
+        self.dropped[node] += 1;
+    }
+
+    /// Packets generated by `node`.
+    #[inline]
+    pub fn generated(&self, node: usize) -> u64 {
+        self.generated[node]
+    }
+
+    /// Packets delivered by `node`.
+    #[inline]
+    pub fn delivered(&self, node: usize) -> u64 {
+        self.delivered[node]
+    }
+
+    /// Packets dropped by `node`.
+    #[inline]
+    pub fn dropped(&self, node: usize) -> u64 {
+        self.dropped[node]
+    }
+
+    /// Of [`NodeTable::delivered`], the packets sunk while serving as head.
+    #[inline]
+    pub fn self_delivered(&self, node: usize) -> u64 {
+        self.self_delivered[node]
+    }
+
+    // ------------------------------------------------------------------
+    // Cold-state accessors
+    // ------------------------------------------------------------------
+
+    /// `node`'s MAC state machine (read-only).
+    #[inline]
+    pub fn mac(&self, node: usize) -> &SensorMac {
+        &self.macs[node]
+    }
+
+    /// `node`'s MAC state machine.
+    #[inline]
+    pub fn mac_mut(&mut self, node: usize) -> &mut SensorMac {
+        &mut self.macs[node]
+    }
+
+    /// `node`'s MAC and link channel together — the lazy-CSI observation
+    /// closures borrow the link while the MAC decides, which the split
+    /// columns permit without any struct-destructuring dance.
+    #[inline]
+    pub fn mac_link_mut(&mut self, node: usize) -> (&mut SensorMac, &mut LinkChannel) {
+        (&mut self.macs[node], &mut self.links[node])
+    }
+
+    /// `node`'s threshold policy (read-only).
+    #[inline]
+    pub fn policy(&self, node: usize) -> &NodePolicy {
+        &self.policies[node]
+    }
+
+    /// `node`'s threshold policy.
+    #[inline]
+    pub fn policy_mut(&mut self, node: usize) -> &mut NodePolicy {
+        &mut self.policies[node]
+    }
+
+    /// `node`'s traffic source.
+    #[inline]
+    pub fn source_mut(&mut self, node: usize) -> &mut NodeTrafficSource {
+        &mut self.sources[node]
+    }
+
+    /// `node`'s link channel.
+    #[inline]
+    pub fn link_mut(&mut self, node: usize) -> &mut LinkChannel {
+        &mut self.links[node]
+    }
+
+    /// `node`'s PHY mode selector.
+    #[inline]
+    pub fn selector_mut(&mut self, node: usize) -> &mut ModeSelector {
+        &mut self.selectors[node]
+    }
+
+    /// Check every mirror column against the cold state it shadows.
+    /// Test-support: the model-based suite calls this after each operation.
+    pub fn assert_mirrors_consistent(&self) {
+        let mut live = 0usize;
+        for i in 0..self.len() {
+            assert_eq!(
+                self.queue_len[i] as usize,
+                self.buffers[i].len(),
+                "queue_len mirror drifted at node {i}"
+            );
+            assert_eq!(
+                self.remaining_j[i].to_bits(),
+                self.batteries[i].remaining().to_bits(),
+                "remaining_j mirror drifted at node {i}"
+            );
+            if self.alive[i] {
+                live += 1;
+                assert!(
+                    !self.batteries[i].is_depleted(),
+                    "node {i} alive with a depleted battery"
+                );
+            }
+        }
+        assert_eq!(live, self.alive_count, "alive_count drifted");
+    }
+}
+
+impl std::fmt::Debug for NodeTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeTable")
+            .field("nodes", &self.len())
+            .field("alive", &self.alive_count)
+            .finish()
+    }
+}
