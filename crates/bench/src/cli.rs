@@ -643,6 +643,84 @@ impl FigureArgs {
     }
 }
 
+// ---------------------------------------------------------------------------
+// netperf: the figure vocabulary plus the sink-saturation mode.
+// ---------------------------------------------------------------------------
+
+/// The `netperf` binary's command line: the figure vocabulary
+/// (`[seed] [--quick]`) plus `--saturate`, which switches the binary to the
+/// record-sink saturation benchmark (mutex baseline vs the lock-free
+/// collector, hammered from N threads).  `--threads` caps the sweep's top
+/// thread count and is only meaningful there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetperfArgs {
+    /// The seed (defaults to [`crate::DEFAULT_SEED`]).
+    pub seed: u64,
+    /// Reduced smoke scenario.
+    pub quick: bool,
+    /// Run the sink-saturation benchmark instead of the scenario sweep.
+    pub saturate: bool,
+    /// Top thread count of the saturation sweep (defaults per mode).
+    pub threads: Option<usize>,
+}
+
+impl NetperfArgs {
+    /// Parse an explicit argument list (testable entry point).
+    pub fn from_args<I>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let parsed = ParsedArgs::lex(
+            args,
+            &[flag("--quick"), flag("--saturate"), option("--threads")],
+        )?;
+        let mut positionals = parsed.positionals.iter();
+        let seed = match positionals.next() {
+            None => crate::DEFAULT_SEED,
+            Some(text) => text.parse().map_err(|_| CliError::InvalidValue {
+                flag: "<seed>",
+                value: text.clone(),
+                expected: "an unsigned integer seed",
+            })?,
+        };
+        if let Some(extra) = positionals.next() {
+            return Err(CliError::UnexpectedPositional(extra.clone()));
+        }
+        let saturate = parsed.has("--saturate");
+        let threads = parsed.parsed::<usize>("--threads", "a positive thread count")?;
+        if let Some(n) = threads {
+            if n == 0 {
+                return Err(CliError::InvalidValue {
+                    flag: "--threads",
+                    value: "0".into(),
+                    expected: "a positive thread count",
+                });
+            }
+            if !saturate {
+                return Err(CliError::Requires {
+                    flag: "--threads",
+                    requires: "--saturate",
+                });
+            }
+        }
+        Ok(NetperfArgs {
+            seed,
+            quick: parsed.has("--quick"),
+            saturate,
+            threads,
+        })
+    }
+
+    /// Parse the process command line, printing the error plus a usage line
+    /// and exiting 2 on a mistake.
+    pub fn from_env_or_exit(binary: &str) -> Self {
+        Self::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}\nusage: {binary} [seed] [--quick] [--saturate [--threads N]]");
+            std::process::exit(2);
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -910,6 +988,38 @@ mod tests {
         assert_eq!(
             FigureArgs::from_args(args(&["--resume"])),
             Err(CliError::UnknownFlag("--resume".to_string()))
+        );
+    }
+
+    #[test]
+    fn netperf_args_parse_saturate_and_threads() {
+        let na =
+            NetperfArgs::from_args(args(&["--quick", "--saturate", "--threads", "16"])).unwrap();
+        assert!(na.quick && na.saturate);
+        assert_eq!(na.threads, Some(16));
+        assert_eq!(na.seed, crate::DEFAULT_SEED);
+        // The plain figure form still parses.
+        let na = NetperfArgs::from_args(args(&["777"])).unwrap();
+        assert_eq!((na.seed, na.saturate, na.threads), (777, false, None));
+        // --threads only means something under --saturate.
+        assert_eq!(
+            NetperfArgs::from_args(args(&["--threads", "4"])),
+            Err(CliError::Requires {
+                flag: "--threads",
+                requires: "--saturate"
+            })
+        );
+        assert!(matches!(
+            NetperfArgs::from_args(args(&["--saturate", "--threads", "0"])),
+            Err(CliError::InvalidValue {
+                flag: "--threads",
+                ..
+            })
+        ));
+        // Misspellings stay typed errors.
+        assert_eq!(
+            NetperfArgs::from_args(args(&["--saturat"])),
+            Err(CliError::UnknownFlag("--saturat".to_string()))
         );
     }
 }

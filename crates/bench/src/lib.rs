@@ -25,7 +25,7 @@ use caem_wsnsim::{ScenarioConfig, Topology};
 pub mod cli;
 pub mod rss;
 
-pub use cli::{ExperimentCli, ExperimentMode, FigureArgs};
+pub use cli::{ExperimentCli, ExperimentMode, FigureArgs, NetperfArgs};
 
 /// The seed used by all figures unless overridden on the command line.
 pub const DEFAULT_SEED: u64 = 20050612;

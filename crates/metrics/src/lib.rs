@@ -12,7 +12,10 @@
 //! * [`fairness`] — standard deviation of per-node queue lengths, the paper's
 //!   short-term fairness measure (Fig. 12);
 //! * [`report`] — plain-text / CSV / markdown table emission used by the
-//!   figure binaries.
+//!   figure binaries;
+//! * [`merge`] — the [`merge::Commute`] merge law that per-worker summary
+//!   statistics obey, so any merge tree over any partition of the
+//!   observations yields the same aggregate.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,11 +23,13 @@
 pub mod energy;
 pub mod fairness;
 pub mod lifetime;
+pub mod merge;
 pub mod perf;
 pub mod report;
 
 pub use energy::{EnergyTracker, PerPacketEnergy};
 pub use fairness::QueueFairness;
 pub use lifetime::{LifetimeTracker, DEFAULT_DEATH_FRACTION};
+pub use merge::Commute;
 pub use perf::NetworkPerformance;
 pub use report::{Column, Table};

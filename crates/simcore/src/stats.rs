@@ -1,6 +1,8 @@
 //! Statistics primitives shared by the metrics and benchmark crates.
 //!
 //! * [`RunningStats`] — single-pass mean / variance / min / max (Welford).
+//! * [`ConcurrentStats`] — lock-free sharded accumulator for the same
+//!   moments, safe to feed from many threads without a mutex.
 //! * [`TimeWeighted`] — time-weighted average of a piecewise-constant signal
 //!   (e.g. queue length, remaining energy between samples).
 //! * [`TimeSeries`] — ordered `(time, value)` samples with resampling helpers
@@ -10,6 +12,8 @@
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Single-pass running statistics using Welford's algorithm.
 ///
@@ -162,18 +166,269 @@ impl RunningStats {
 
 /// Two-sided 97.5 % Student-t critical value for `df` degrees of freedom
 /// (the multiplier of a 95 % confidence interval).  Tabulated for the small
-/// replicate counts experiments actually run; beyond 30 degrees of freedom
-/// the distribution is within 2 % of the normal limit 1.96.
+/// replicate counts experiments actually run; past 30 degrees of freedom the
+/// tail approaches the normal limit through the standard 40/60/120
+/// breakpoints, interpolated linearly in `1/df` (the variable the t quantile
+/// is nearly linear in), so the value is continuous and strictly decreasing
+/// everywhere.  The old implementation dropped straight from t(30) = 2.042
+/// to 1.96 — a ~4 % step that made `ci95_half_width` non-monotone in the
+/// replicate count right where sequential stopping compares widths.
 fn t_critical_975(df: u64) -> f64 {
     const TABLE: [f64; 30] = [
         12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
         2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
         2.052, 2.048, 2.045, 2.042,
     ];
+    // Anchors past the table, ending at the deepest tabulated row (df 120);
+    // interpolation runs on 1/df between consecutive anchors.
+    const ANCHORS: [(f64, f64); 4] = [(30.0, 2.042), (40.0, 2.021), (60.0, 2.000), (120.0, 1.980)];
     match df {
         0 => f64::INFINITY,
         1..=30 => TABLE[(df - 1) as usize],
-        _ => 1.96,
+        31..=120 => {
+            let x = df as f64;
+            let (lo, hi) = ANCHORS
+                .windows(2)
+                .map(|w| (w[0], w[1]))
+                .find(|&((lo_df, _), (hi_df, _))| x >= lo_df && x <= hi_df)
+                .expect("31..=120 is covered by the anchor spans");
+            let alpha = (1.0 / x - 1.0 / lo.0) / (1.0 / hi.0 - 1.0 / lo.0);
+            lo.1 + alpha * (hi.1 - lo.1)
+        }
+        // Beyond the table: decay the remaining 0.02 gap over 1.96 like
+        // 1/df (t(120) = 1.98 exactly matches the last anchor), so the
+        // curve stays continuous and monotone down to the normal limit.
+        _ => 1.96 + 0.02 * (120.0 / df as f64),
+    }
+}
+
+/// Lock-free concurrent counterpart of [`RunningStats`]: many threads feed
+/// observations through `&self` without a mutex; a quiescent reader folds
+/// the result back into a plain [`RunningStats`].
+///
+/// # Why not an atomic Welford?
+///
+/// The obvious port (jormungandr-style per-field atomics running Welford's
+/// recurrence) is racy even though every *field* update is atomic: the
+/// `mean`/`m2` updates each read the other field's previous value, so two
+/// interleaved `push` calls apply the recurrence to a state neither of them
+/// wrote — `m2` is then permanently corrupted, not just transiently stale.
+/// The fix is to accumulate only **commutative** per-field contributions
+/// whose value does not depend on what any other thread has done:
+///
+/// * `count` — an integer add,
+/// * `Σ(x − offset)` and `Σ(x − offset)²` — floating-point CAS-adds of
+///   per-observation terms (shifted by a per-shard offset, the shard's first
+///   value, so the squared sums stay numerically tame),
+/// * `min`/`max` — CAS min/max.
+///
+/// Every interleaving of those adds yields the same multiset of
+/// contributions, so the race disappears structurally instead of being
+/// patched with a wider lock.  Shards (selected by a hash of the calling
+/// thread's id) exist purely to keep hot counters off each other's cache
+/// lines; correctness does not depend on the thread→shard mapping.
+///
+/// # Read contract
+///
+/// [`ConcurrentStats::snapshot`] and [`ConcurrentStats::merge`] assume the
+/// accumulator is *quiescent*: all writer threads have been joined (or
+/// otherwise happens-before-ordered) first.  Reading mid-flight returns a
+/// mixture of old and new contributions — never a torn float, but not a
+/// consistent cut either.
+#[derive(Debug)]
+pub struct ConcurrentStats {
+    shards: Box<[StatShard]>,
+}
+
+/// One cache-line-isolated accumulator shard.
+#[derive(Debug)]
+#[repr(align(128))]
+struct StatShard {
+    count: AtomicU64,
+    /// `Σ(x − offset)` as f64 bits.
+    sum: AtomicU64,
+    /// `Σ(x − offset)²` as f64 bits.
+    sum_sq: AtomicU64,
+    /// Running minimum as f64 bits (starts at +∞).
+    min: AtomicU64,
+    /// Running maximum as f64 bits (starts at −∞).
+    max: AtomicU64,
+    /// Numerical-stability offset: the first value this shard saw.
+    offset: OnceLock<f64>,
+}
+
+impl StatShard {
+    fn new() -> Self {
+        StatShard {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0.0f64.to_bits()),
+            sum_sq: AtomicU64::new(0.0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            offset: OnceLock::new(),
+        }
+    }
+
+    /// Fold this shard's commutative sums back into exact Welford form.
+    fn summary(&self) -> RunningStats {
+        let n = self.count.load(Ordering::Acquire);
+        if n == 0 {
+            return RunningStats::new();
+        }
+        let offset = self.offset.get().copied().unwrap_or(0.0);
+        let s1 = f64::from_bits(self.sum.load(Ordering::Acquire));
+        let s2 = f64::from_bits(self.sum_sq.load(Ordering::Acquire));
+        let nf = n as f64;
+        RunningStats {
+            count: n,
+            mean: offset + s1 / nf,
+            // Σ(x − mean)² = Σ(x − off)² − (Σ(x − off))²/n, clamped against
+            // the cancellation that can push it a few ulps negative.
+            m2: (s2 - s1 * s1 / nf).max(0.0),
+            min: f64::from_bits(self.min.load(Ordering::Acquire)),
+            max: f64::from_bits(self.max.load(Ordering::Acquire)),
+            sum: offset * nf + s1,
+        }
+    }
+
+    /// Add a whole summarized population to this shard (commutative, so it
+    /// is safe concurrently with `record` traffic on the same shard).
+    fn absorb(&self, s: &RunningStats) {
+        if s.count == 0 {
+            return;
+        }
+        let offset = *self.offset.get_or_init(|| s.mean);
+        let nf = s.count as f64;
+        let shift = s.mean - offset;
+        self.count.fetch_add(s.count, Ordering::AcqRel);
+        // Σ(x − off) = n·(mean − off); Σ(x − off)² = m2 + n·(mean − off)².
+        atomic_f64_add(&self.sum, nf * shift);
+        atomic_f64_add(&self.sum_sq, s.m2 + nf * shift * shift);
+        atomic_f64_min(&self.min, s.min);
+        atomic_f64_max(&self.max, s.max);
+    }
+}
+
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn atomic_f64_min(cell: &AtomicU64, x: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while x < f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, x.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn atomic_f64_max(cell: &AtomicU64, x: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while x > f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, x.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Stable per-thread shard token (a mixed hash of the thread id), cached in
+/// a thread-local so the hot `record` path is a mask away from its shard.
+fn shard_token() -> u64 {
+    use std::cell::Cell;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static TOKEN: Cell<u64> = const { Cell::new(0) };
+    }
+    TOKEN.with(|slot| {
+        let mut token = slot.get();
+        if token == 0 {
+            let mut hasher = DefaultHasher::new();
+            std::thread::current().id().hash(&mut hasher);
+            token = hasher.finish() | 1;
+            slot.set(token);
+        }
+        token
+    })
+}
+
+impl Default for ConcurrentStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentStats {
+    /// Create an accumulator sized for the host's parallelism (shard count
+    /// is the next power of two at or above twice the core count, capped at
+    /// 64 — enough to keep unrelated threads off shared cache lines).
+    pub fn new() -> Self {
+        let cores = std::thread::available_parallelism().map_or(8, |n| n.get());
+        Self::with_shards((cores * 2).next_power_of_two().min(64))
+    }
+
+    /// Create an accumulator with an explicit shard count (rounded up to a
+    /// power of two so shard selection is a mask).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ConcurrentStats {
+            shards: (0..n).map(|_| StatShard::new()).collect(),
+        }
+    }
+
+    /// Add one observation; callable from any thread through `&self`.
+    pub fn record(&self, x: f64) {
+        let shard = &self.shards[shard_token() as usize & (self.shards.len() - 1)];
+        let offset = *shard.offset.get_or_init(|| x);
+        let d = x - offset;
+        shard.count.fetch_add(1, Ordering::AcqRel);
+        atomic_f64_add(&shard.sum, d);
+        atomic_f64_add(&shard.sum_sq, d * d);
+        atomic_f64_min(&shard.min, x);
+        atomic_f64_max(&shard.max, x);
+    }
+
+    /// Total observations recorded so far (exact once writers are quiescent).
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Merge another accumulator's contents into this one, shard by shard.
+    /// Still lock-free and commutative: `record` traffic may continue on
+    /// `self`, but `other` must be quiescent (see the type-level contract).
+    pub fn merge(&self, other: &ConcurrentStats) {
+        for (i, shard) in other.shards.iter().enumerate() {
+            let summary = shard.summary();
+            if summary.count() > 0 {
+                self.shards[i & (self.shards.len() - 1)].absorb(&summary);
+            }
+        }
+    }
+
+    /// Fold the quiescent accumulator into a plain [`RunningStats`] by
+    /// merging shard summaries in fixed index order (deterministic for a
+    /// given shard assignment).
+    pub fn snapshot(&self) -> RunningStats {
+        let mut out = RunningStats::new();
+        for shard in self.shards.iter() {
+            let summary = shard.summary();
+            if summary.count() > 0 {
+                out.merge(&summary);
+            }
+        }
+        out
     }
 }
 
@@ -226,8 +481,14 @@ impl TimeWeighted {
     }
 
     /// Close the observation window at `time` (accounts the final segment).
+    ///
+    /// A no-op on a never-observed accumulator: there is no open segment to
+    /// close, so `max()` stays `None` and `span_secs()` stays 0 rather than
+    /// fabricating a zero-valued observation out of the default state.
     pub fn finish(&mut self, time: SimTime) {
-        self.observe(time, self.last_value);
+        if self.last_time.is_some() {
+            self.observe(time, self.last_value);
+        }
     }
 
     /// The time-weighted average over all closed segments.
@@ -335,15 +596,22 @@ impl TimeSeries {
     }
 
     /// Resample at a fixed period, linearly interpolating.
+    ///
+    /// Sample times are computed as `start + i * step` rather than by a
+    /// running `t += step`: the incremental form accumulates one rounding
+    /// error per step, which over ~1e6 steps drifts past the `end`
+    /// tolerance and silently drops (or duplicates) the final sample.
     pub fn resample(&self, start: f64, end: f64, step: f64) -> Vec<(f64, f64)> {
         assert!(step > 0.0, "resample step must be positive");
         let mut out = Vec::new();
-        let mut t = start;
-        while t <= end + 1e-9 {
+        for i in 0.. {
+            let t = start + i as f64 * step;
+            if t > end + 1e-9 {
+                break;
+            }
             if let Some(v) = self.value_at(t) {
                 out.push((t, v));
             }
-            t += step;
         }
         out
     }
@@ -425,18 +693,64 @@ impl Histogram {
             if doubled_hi > self.max_hi {
                 return; // at the cap: x stays an overflow observation
             }
-            let n = self.bins.len();
-            for k in 0..n {
-                let merged = match (self.bins.get(2 * k), self.bins.get(2 * k + 1)) {
-                    (Some(&a), Some(&b)) => a + b,
-                    (Some(&a), None) => a,
-                    _ => 0,
-                };
-                self.bins[k] = merged;
-            }
-            self.hi = doubled_hi;
-            self.inv_width = n as f64 / (self.hi - self.lo);
+            self.double_width();
         }
+    }
+
+    /// One doubling step: bin `k` of the widened layout absorbs bins `2k`
+    /// and `2k + 1` of the old one.  The caller checks the growth cap.
+    fn double_width(&mut self) {
+        let n = self.bins.len();
+        for k in 0..n {
+            let merged = match (self.bins.get(2 * k), self.bins.get(2 * k + 1)) {
+                (Some(&a), Some(&b)) => a + b,
+                (Some(&a), None) => a,
+                _ => 0,
+            };
+            self.bins[k] = merged;
+        }
+        self.hi = self.lo + 2.0 * (self.hi - self.lo);
+        self.inv_width = n as f64 / (self.hi - self.lo);
+    }
+
+    /// Merge another histogram recorded under the same base layout (same
+    /// `lo`, same bin count, ranges related by doublings — which is exactly
+    /// what two auto-resizing histograms grown from one configuration look
+    /// like).  The merge is **exact and commutative/associative**: bin
+    /// counts are integer adds and the merged layout (the wider of the two
+    /// ranges, the larger growth cap) depends only on the pair, not on the
+    /// merge order, so any merge tree over per-thread histograms yields
+    /// identical bins.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram merge requires a shared lo");
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "histogram merge requires equal bin counts"
+        );
+        self.max_hi = self.max_hi.max(other.max_hi);
+        while self.hi < other.hi {
+            self.double_width();
+        }
+        let ratio_f = (self.hi - self.lo) / (other.hi - other.lo);
+        let ratio = ratio_f.round() as usize;
+        assert!(
+            ratio >= 1 && (ratio_f - ratio as f64).abs() < 1e-9,
+            "histogram ranges are not doubling-aligned ({} vs {})",
+            self.hi,
+            other.hi
+        );
+        // Other's bin `i` (narrower by `ratio`) nests entirely inside our
+        // bin `i / ratio`, so coarsening loses nothing the wider layout
+        // would have kept.
+        for (i, &b) in other.bins.iter().enumerate() {
+            if b > 0 {
+                self.bins[i / ratio] += b;
+            }
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
     }
 
     /// Record one observation.
@@ -781,7 +1095,7 @@ mod tests {
         }
         assert!(few.ci95_half_width() > 0.0);
         // Same dispersion, 16x the observations: the half-width shrinks by
-        // the 4x sample-size factor *and* the t(3)=3.182 → t(63)=1.96
+        // the 4x sample-size factor *and* the t(3)=3.182 → t(63)≈1.998
         // critical-value drop.
         assert!(many.ci95_half_width() < few.ci95_half_width() / 3.5);
         // The small-n width uses the Student-t multiplier, not z = 1.96:
@@ -791,5 +1105,180 @@ mod tests {
         let mut single = RunningStats::new();
         single.push(7.0);
         assert_eq!(single.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn t_critical_is_continuous_and_monotone() {
+        // The tabulated region, the interpolated 31..=120 region and the
+        // tail must form one strictly decreasing sequence — the old code
+        // jumped 2.042 → 1.96 at df 31, making CI widths non-monotone in n.
+        let mut prev = t_critical_975(1);
+        for df in 2..=2000 {
+            let t = t_critical_975(df);
+            assert!(
+                t < prev,
+                "t_critical_975 must strictly decrease: t({df}) = {t} vs t({}) = {prev}",
+                df - 1
+            );
+            // Past the table edge no step exceeds 0.5 % of the value (the
+            // old discontinuity at df 31 was ~4 %); inside the table the
+            // tabulated quantiles drop as steeply as the distribution does.
+            if df > 30 {
+                assert!(prev - t < 0.005 * prev, "step at df {df}: {prev} -> {t}");
+            }
+            prev = t;
+        }
+        // Pinned anchors: the table edge, the standard breakpoints, and the
+        // normal limit far out.
+        assert_eq!(t_critical_975(30), 2.042);
+        assert_eq!(t_critical_975(40), 2.021);
+        assert_eq!(t_critical_975(60), 2.000);
+        assert_eq!(t_critical_975(120), 1.980);
+        assert!((t_critical_975(1_000_000) - 1.96).abs() < 1e-4);
+        // ci95_half_width is now monotone across the df 30 → 31 boundary
+        // for identically dispersed samples.
+        let sample = [1.0, 5.0, 9.0];
+        let mut n31 = RunningStats::new();
+        let mut n32 = RunningStats::new();
+        for i in 0..32 {
+            if i < 31 {
+                n31.push(sample[i % 3]);
+            }
+            n32.push(sample[i % 3]);
+        }
+        assert!(n32.ci95_half_width() < n31.ci95_half_width());
+    }
+
+    #[test]
+    fn time_weighted_finish_on_empty_is_noop() {
+        // Regression: finish() on a never-observed accumulator used to
+        // route through observe(time, 0.0), fabricating max() == Some(0.0)
+        // and seeding a phantom segment start.
+        let mut tw = TimeWeighted::new();
+        tw.finish(SimTime::from_secs(10));
+        assert_eq!(tw.max(), None);
+        assert_eq!(tw.span_secs(), 0.0);
+        assert_eq!(tw.average(), 0.0);
+        // And it did not secretly open a window: a later observe still
+        // starts the signal at its own time.
+        tw.observe(SimTime::from_secs(20), 3.0);
+        tw.finish(SimTime::from_secs(22));
+        assert!((tw.average() - 3.0).abs() < 1e-12);
+        assert!((tw.span_secs() - 2.0).abs() < 1e-12);
+        assert_eq!(tw.max(), Some(3.0));
+    }
+
+    #[test]
+    fn resample_does_not_drift_over_a_million_steps() {
+        let mut ts = TimeSeries::new("long");
+        ts.push(0.0, 0.0);
+        ts.push(100_000.0, 1.0);
+        // 1e6 steps of 0.1: the old `t += step` loop accumulated ~1.3e-6 of
+        // rounding error by the end — past the 1e-9 end tolerance — and
+        // dropped the final sample.
+        let r = ts.resample(0.0, 100_000.0, 0.1);
+        assert_eq!(r.len(), 1_000_001);
+        let (last_t, last_v) = *r.last().unwrap();
+        assert_eq!(last_t.to_bits(), 100_000.0f64.to_bits());
+        assert!((last_v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_stats_matches_sequential_single_thread() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin() * 25.0).collect();
+        let mut reference = RunningStats::new();
+        reference.extend(data.iter().copied());
+        let concurrent = ConcurrentStats::with_shards(8);
+        for &x in &data {
+            concurrent.record(x);
+        }
+        let snap = concurrent.snapshot();
+        assert_eq!(snap.count(), reference.count());
+        assert_eq!(concurrent.count(), reference.count());
+        assert!((snap.mean() - reference.mean()).abs() < 1e-9);
+        assert!((snap.variance() - reference.variance()).abs() < 1e-9);
+        assert_eq!(snap.min(), reference.min());
+        assert_eq!(snap.max(), reference.max());
+        assert!((snap.sum() - reference.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_stats_matches_sequential_across_threads() {
+        let concurrent = ConcurrentStats::new();
+        let threads = 8;
+        let per_thread = 2_000;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let concurrent = &concurrent;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        concurrent.record(((t * per_thread + i) as f64 * 0.11).cos() * 9.0);
+                    }
+                });
+            }
+        });
+        // Writers are joined: the snapshot contract holds.
+        let mut reference = RunningStats::new();
+        for j in 0..threads * per_thread {
+            reference.push((j as f64 * 0.11).cos() * 9.0);
+        }
+        let snap = concurrent.snapshot();
+        assert_eq!(snap.count(), reference.count());
+        assert!((snap.mean() - reference.mean()).abs() < 1e-9);
+        assert!((snap.std_dev() - reference.std_dev()).abs() < 1e-7);
+        assert_eq!(snap.min(), reference.min());
+        assert_eq!(snap.max(), reference.max());
+    }
+
+    #[test]
+    fn concurrent_stats_merge_matches_pooled() {
+        let a = ConcurrentStats::with_shards(4);
+        let b = ConcurrentStats::with_shards(4);
+        let mut pooled = RunningStats::new();
+        for i in 0..300 {
+            let x = (i as f64).sqrt() * 3.0 - 10.0;
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            pooled.push(x);
+        }
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), pooled.count());
+        assert!((snap.mean() - pooled.mean()).abs() < 1e-9);
+        assert!((snap.variance() - pooled.variance()).abs() < 1e-9);
+        assert_eq!(snap.min(), pooled.min());
+        assert_eq!(snap.max(), pooled.max());
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_and_order_independent() {
+        let values_a = [1.0, 9.5, 35.0, 4.0];
+        let values_b = [19.0, 0.0, 39.9, 120.0];
+        let record_all = |values: &[f64]| {
+            let mut h = Histogram::with_auto_resize(0.0, 10.0, 8, 640.0);
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        // One histogram fed everything vs two merged partial histograms.
+        let mut whole = record_all(&values_a);
+        for &v in &values_b {
+            whole.record(v);
+        }
+        let (a, b) = (record_all(&values_a), record_all(&values_b));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for merged in [&ab, &ba] {
+            assert_eq!(merged.count(), whole.count());
+            assert_eq!(merged.range_hi(), whole.range_hi());
+            assert_eq!(merged.bins(), whole.bins());
+            assert_eq!(merged.outliers(), whole.outliers());
+        }
     }
 }

@@ -701,27 +701,29 @@ fn run_shard(
     if pending.is_empty() {
         return Ok(());
     }
-    let sink = store.sink();
     // The worker's single parallel layer, drawing from the process budget
-    // the coordinator allotted via RAYON_TOTAL_THREADS.
-    let settled: Vec<Result<JobRecord, JobFailure>> = pending
-        .par_iter()
-        .map(|job| {
-            let settled = run_job_guarded(job, cfg.job_attempts, cfg.job_wall_budget);
-            match &settled {
-                Ok(record) => sink.append(record).expect("worker store append failed"),
-                Err(failure) => sink
-                    .append_failure(failure)
-                    .expect("worker store append failed"),
-            }
-            // Heartbeat: bump the lease mtime after every completed job, so
-            // a shard whose jobs together outlast the TTL is not stolen
-            // while its owner is demonstrably making progress.  Best-effort
-            // — a lost beat only risks duplicated work, never wrong results.
-            let _ = refresh_lease(layout, shard, me);
-            settled
-        })
-        .collect();
+    // the coordinator allotted via RAYON_TOTAL_THREADS.  Fresh results
+    // stream through the lock-free collector; IO errors surface when the
+    // collector drains.
+    let settled: Vec<Result<JobRecord, JobFailure>> = store.with_parallel_sink(|sink| {
+        pending
+            .par_iter()
+            .map(|job| {
+                let settled = run_job_guarded(job, cfg.job_attempts, cfg.job_wall_budget);
+                match &settled {
+                    Ok(record) => sink.append(record),
+                    Err(failure) => sink.append_failure(failure),
+                }
+                // Heartbeat: bump the lease mtime after every completed job,
+                // so a shard whose jobs together outlast the TTL is not
+                // stolen while its owner is demonstrably making progress.
+                // Best-effort — a lost beat only risks duplicated work,
+                // never wrong results.
+                let _ = refresh_lease(layout, shard, me);
+                settled
+            })
+            .collect()
+    })?;
     for settled in settled {
         match settled {
             Ok(record) => {

@@ -214,24 +214,29 @@ impl ExperimentSpec {
             .collect();
         let pending: Vec<usize> = (0..jobs.len()).filter(|&i| records[i].is_none()).collect();
         if !pending.is_empty() {
-            let sink = store.sink();
-            // The single parallel layer over the *missing* jobs only.
-            let fresh: Vec<(usize, JobRecord)> = pending
-                .par_iter()
-                .map(|&i| {
-                    let job = &jobs[i];
-                    let result = SimulationRun::new(job.config.clone()).run();
-                    let record = JobRecord::from_result(
-                        &self.scenarios[job.scenario].label,
-                        self.policy_index(job),
-                        job,
-                        &result,
-                    );
-                    sink.append(&record)
-                        .expect("experiment store append failed");
-                    (i, record)
+            // The single parallel layer over the *missing* jobs only: each
+            // worker encodes its own record and ships it through the
+            // lock-free collector, so no job ever waits on another job's
+            // disk write.  IO errors surface when the collector drains.
+            let fresh: Vec<(usize, JobRecord)> = store
+                .with_parallel_sink(|sink| {
+                    pending
+                        .par_iter()
+                        .map(|&i| {
+                            let job = &jobs[i];
+                            let result = SimulationRun::new(job.config.clone()).run();
+                            let record = JobRecord::from_result(
+                                &self.scenarios[job.scenario].label,
+                                self.policy_index(job),
+                                job,
+                                &result,
+                            );
+                            sink.append(&record);
+                            (i, record)
+                        })
+                        .collect()
                 })
-                .collect();
+                .expect("experiment store append failed");
             for (i, record) in fresh {
                 store.note_record(record.clone());
                 records[i] = Some(record);

@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex};
 use caem::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
 
+use crate::collect::CollectorSink;
 use crate::config::ScenarioConfig;
 use crate::experiment::{replicate_metrics, ExperimentJob, METRIC_NAMES};
 use crate::faults::{self, retry_transient, RetryPolicy, RunEvent, StoreIo};
@@ -519,12 +520,51 @@ impl ExperimentStore {
         Ok(())
     }
 
-    /// A thread-shareable sink for streaming records from a parallel
-    /// fan-out.  Records written through the sink are **not** indexed in
-    /// memory; the caller indexes them afterwards with
-    /// [`ExperimentStore::note_record`].
-    pub(crate) fn sink(&mut self) -> RecordSink<'_> {
-        RecordSink {
+    /// Run a parallel fan-out with a **lock-free** record sink: `f` gets a
+    /// [`CollectorSink`] that workers share by reference, while a dedicated
+    /// drainer thread owns the store file and writes coalesced line batches
+    /// through the usual IO seam (see [`crate::collect`] for the
+    /// architecture and crash-semantics argument).  Records written through
+    /// the sink are **not** indexed in memory; the caller indexes them
+    /// afterwards with [`ExperimentStore::note_record`].
+    ///
+    /// Returns `f`'s result, or the first IO error the drainer hit (every
+    /// append after a fatal error is dropped — the grid re-runs those jobs
+    /// on resume, exactly like a crash at that point).
+    pub fn with_parallel_sink<R>(
+        &mut self,
+        f: impl FnOnce(&CollectorSink) -> R,
+    ) -> Result<R, StoreError> {
+        self.with_buffered_sink(0, f)
+    }
+
+    /// [`ExperimentStore::with_parallel_sink`] with an explicit worker-side
+    /// buffer threshold: each worker thread batches encoded lines locally
+    /// until they exceed `flush_bytes`, trading a larger crash-loss window
+    /// for fewer channel operations.  The engine uses 0 (ship every record
+    /// immediately); the saturation benchmark exercises both settings.
+    pub fn with_buffered_sink<R>(
+        &mut self,
+        flush_bytes: usize,
+        f: impl FnOnce(&CollectorSink) -> R,
+    ) -> Result<R, StoreError> {
+        let io = Arc::clone(&self.io);
+        let retry = self.retry.clone();
+        let fsync = self.fsync;
+        let file = self
+            .writer
+            .as_mut()
+            .expect("streaming into a store opened read-only");
+        crate::collect::run_collector(io, retry, fsync, flush_bytes, file, f)
+    }
+
+    /// The pre-collector sink: a thread-shareable handle that serializes
+    /// every append through one `Mutex<&mut File>`.  Retained as the
+    /// contended **baseline** the saturation benchmark and the equivalence
+    /// tests compare the lock-free path against; the engine itself streams
+    /// through [`ExperimentStore::with_parallel_sink`].
+    pub fn mutex_sink(&mut self) -> MutexSink<'_> {
+        MutexSink {
             io: Arc::clone(&self.io),
             fsync: self.fsync,
             retry: self.retry.clone(),
@@ -653,12 +693,17 @@ pub(crate) fn dedupe_last_wins<I: IntoIterator<Item = JobRecord>>(records: I) ->
 }
 
 /// Serialize `value` as one newline-terminated JSONL line.
-fn encode_line<T: Serialize>(value: &T) -> Result<Vec<u8>, StoreError> {
+pub(crate) fn encode_line<T: Serialize>(value: &T) -> Result<Vec<u8>, StoreError> {
     let mut line = Vec::with_capacity(256);
     serde_json::to_writer(&mut line, value)
         .map_err(|e| StoreError::Format(format!("record serialization failed: {e}")))?;
     line.push(b'\n');
     Ok(line)
+}
+
+/// Serialize a quarantine record in its tagged on-disk framing.
+pub(crate) fn encode_failure_line(failure: &JobFailure) -> Result<Vec<u8>, StoreError> {
+    encode_line(&FailureLine::from(failure))
 }
 
 /// Append one encoded line through the IO seam, retrying transient failures
@@ -668,7 +713,7 @@ fn encode_line<T: Serialize>(value: &T) -> Result<Vec<u8>, StoreError> {
 /// corrupt record.  Terminated fragments (and the blank lines terminating
 /// clean failures) load back as skipped/ignored lines — the record itself
 /// is always rewritten whole.
-fn append_line_with_recovery(
+pub(crate) fn append_line_with_recovery(
     io: &dyn StoreIo,
     retry: &RetryPolicy,
     file: &mut File,
@@ -690,26 +735,30 @@ fn append_line_with_recovery(
     Ok(())
 }
 
-/// Shared append handle used inside the experiment engine's parallel layer.
-pub(crate) struct RecordSink<'a> {
+/// The mutex-serialized append handle: every record is encoded by its
+/// worker, then written under one lock.  Superseded by the lock-free
+/// [`CollectorSink`] on the engine's hot path and kept as the contended
+/// baseline for [`ExperimentStore::mutex_sink`] callers (the saturation
+/// benchmark, the sink-equivalence tests).
+pub struct MutexSink<'a> {
     io: Arc<dyn StoreIo>,
     fsync: bool,
     retry: RetryPolicy,
     file: Mutex<&'a mut File>,
 }
 
-impl RecordSink<'_> {
+impl MutexSink<'_> {
     /// Stream one record to disk (one line per `write_all`, under the
     /// lock), with transient-failure retry and torn-write recovery.
-    pub(crate) fn append(&self, record: &JobRecord) -> Result<(), StoreError> {
+    pub fn append(&self, record: &JobRecord) -> Result<(), StoreError> {
         let line = encode_line(record)?;
         let mut file = self.file.lock().expect("record sink lock poisoned");
         append_line_with_recovery(&*self.io, &self.retry, &mut file, &line, self.fsync)
     }
 
     /// Stream one quarantine record to disk, same discipline as `append`.
-    pub(crate) fn append_failure(&self, failure: &JobFailure) -> Result<(), StoreError> {
-        let line = encode_line(&FailureLine::from(failure))?;
+    pub fn append_failure(&self, failure: &JobFailure) -> Result<(), StoreError> {
+        let line = encode_failure_line(failure)?;
         let mut file = self.file.lock().expect("record sink lock poisoned");
         append_line_with_recovery(&*self.io, &self.retry, &mut file, &line, self.fsync)
     }
