@@ -43,8 +43,10 @@ use std::path::PathBuf;
 
 use caem_bench::cli::{RunArgs, RunBackend, SequentialArgs};
 use caem_bench::{
-    policy_label, zoo_replicates, zoo_scenarios, ExperimentCli, ExperimentMode, DEFAULT_SEED,
+    policy_label, profrpt, zoo_replicates, zoo_scenarios, ExperimentCli, ExperimentMode,
+    DEFAULT_SEED,
 };
+use caem_metrics::prof;
 use caem_wsnsim::distrib::{
     run_sequential_distributed, run_worker, DistribOptions, ProcessSpawner, WorkerConfig,
 };
@@ -79,6 +81,9 @@ modes (at most one selector; `run` is the default):
                            all; `+`-separated, e.g. --chaos 11:kill+torn)
     --fsync              fsync every store append (durability over speed)
     --strict             exit nonzero if any job was quarantined
+    --profile            per-subsystem time-breakdown report after the run
+                         (spawned workers inherit it through the environment;
+                         the report artifact stays byte-identical)
   --reaggregate          rebuild the report offline from the JSONL store alone
   --worker-shard <dir>   participate in a distributed grid (requires --store)
   --list-scenarios       print scenario labels + config hashes; no simulation
@@ -294,6 +299,12 @@ fn worker_mode(dir: &str, store: &str) -> ! {
             if let Some(summary) = faults::event_summary() {
                 println!("worker {}: {summary}", std::process::id());
             }
+            if prof::enabled() {
+                profrpt::print_profile_totals(
+                    &format!("worker {} time breakdown", std::process::id()),
+                    &prof::global().snapshot(),
+                );
+            }
             std::process::exit(0);
         }
         Err(e) => die(format!("worker on {dir} failed: {e}")),
@@ -341,6 +352,9 @@ fn default_paths(quick: bool) -> Paths {
 fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
     let spec = &grid.spec;
     let sequential = resolve_stopping(&grid, args.sequential.as_ref(), cli.quick);
+    if args.profile {
+        prof::set_enabled(true);
+    }
 
     let report = match &args.backend {
         RunBackend::Distributed { workers, dir } => {
@@ -374,6 +388,11 @@ fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
                 spawner
                     .envs
                     .push((faults::FSYNC_ENV.to_string(), "1".to_string()));
+            }
+            if args.profile {
+                spawner
+                    .envs
+                    .push((prof::PROFILE_ENV.to_string(), "1".to_string()));
             }
             println!(
                 "distributed experiment grid: {} scenarios x {} policies x {} seeds = {} jobs across {n} workers ({} rayon threads each), shard dir {}",
@@ -457,6 +476,18 @@ fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
     }
     if let Some(summary) = faults::event_summary() {
         println!("{summary}");
+    }
+    if args.profile {
+        // The process-wide accumulator: every local job folded its profile
+        // in at finish(); deploy and collector spans land here directly.
+        // (Spawned workers print their own breakdowns — wall clocks cannot
+        // cross process boundaries.)
+        println!();
+        profrpt::print_profile_totals(
+            "time breakdown (this process, all jobs)",
+            &prof::global().snapshot(),
+        );
+        profrpt::print_run_event_counters();
     }
     write_report(&report, paths.out);
     if args.strict && !report.failures.is_empty() {

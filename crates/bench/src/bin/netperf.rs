@@ -32,7 +32,9 @@
 use std::time::Instant;
 
 use caem::policy::PolicyKind;
+use caem_bench::profrpt::{self, repeat_stats, time_breakdown_json, ProfBudget, RepeatStats};
 use caem_bench::{apply_quick, emit, policy_label, rss, NetperfArgs};
+use caem_metrics::prof::{self, Breakdown};
 use caem_metrics::report::{Column, Table};
 use caem_metrics::Commute;
 use caem_simcore::stats::{ConcurrentStats, RunningStats};
@@ -84,13 +86,17 @@ fn node_scaling_sweep(seed: u64, quick: bool) -> Vec<ScalePoint> {
     points
 }
 
-/// Timing record for one simulated scenario.
+/// Timing record for one simulated scenario, summarized over `repeats`
+/// timed runs (the simulation output is deterministic across repeats —
+/// only the wall clocks differ).
 struct ScenarioTiming {
     policy: &'static str,
     load_pps: f64,
+    /// Mean wall time over the repeats.
     wall_clock_s: f64,
     events: u64,
-    events_per_sec: f64,
+    /// rten-bench-shape statistics of events/sec over the repeats.
+    eps: RepeatStats,
     sim_seconds: f64,
 }
 
@@ -101,6 +107,16 @@ fn main() {
         return;
     }
     let NetperfArgs { seed, quick, .. } = args;
+    let repeats = args.repeats.unwrap_or(1);
+    if args.profile {
+        prof::set_enabled(true);
+    }
+    if args.trace_out.is_some() {
+        // Trace only the first repeat of the first scenario: one run's
+        // span structure is the story; six scenarios x repeats would be
+        // an unreadable wall of slices.
+        prof::start_trace(2_000_000);
+    }
     let loads: Vec<f64> = if quick {
         vec![5.0, 15.0]
     } else {
@@ -132,19 +148,38 @@ fn main() {
     );
     let mut timings: Vec<ScenarioTiming> = Vec::new();
     let mut points: Vec<LoadSweepPoint> = Vec::new();
+    let mut breakdown = Breakdown::new();
+    let mut trace_pending = args.trace_out.is_some();
     let bench_started = Instant::now();
     for job in spec.enumerate_jobs() {
         let load = loads[job.scenario];
         let sim_seconds = job.config.duration.as_secs_f64();
-        let started = Instant::now();
-        let result = SimulationRun::new(job.config).run();
-        let wall_clock_s = started.elapsed().as_secs_f64();
+        let scenario = format!("{}@{load}pps", policy_label(job.policy));
+        let mut walls: Vec<f64> = Vec::with_capacity(repeats);
+        let mut eps_samples: Vec<f64> = Vec::with_capacity(repeats);
+        let mut result = None;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            let run_result = SimulationRun::new(job.config.clone()).run();
+            let wall_clock_s = started.elapsed().as_secs_f64();
+            if trace_pending {
+                trace_pending = false;
+                write_trace(args.trace_out.as_deref().expect("trace path"), &scenario);
+            }
+            walls.push(wall_clock_s);
+            eps_samples.push(run_result.events_processed as f64 / wall_clock_s.max(1e-9));
+            if args.profile {
+                breakdown.observe(&scenario, &run_result.profile);
+            }
+            result = Some(run_result);
+        }
+        let result = result.expect("at least one repeat");
         timings.push(ScenarioTiming {
             policy: policy_label(job.policy),
             load_pps: load,
-            wall_clock_s,
+            wall_clock_s: repeat_stats(&walls).expect("repeats >= 1").mean,
             events: result.events_processed,
-            events_per_sec: result.events_processed as f64 / wall_clock_s.max(1e-9),
+            eps: repeat_stats(&eps_samples).expect("repeats >= 1"),
             sim_seconds,
         });
         match points.last_mut() {
@@ -191,16 +226,44 @@ fn main() {
     let total_events: u64 = timings.iter().map(|t| t.events).sum();
     let sum_scenario_wall: f64 = timings.iter().map(|t| t.wall_clock_s).sum();
     let aggregate_eps = total_events as f64 / sum_scenario_wall.max(1e-9);
-    println!("== engine throughput (events/sec, wall-clock per scenario) ==");
-    println!(
-        "{:<24} {:>10} {:>12} {:>14} {:>12}",
-        "scenario", "load_pps", "wall_s", "events", "events/sec"
-    );
-    for t in &timings {
+    if repeats > 1 {
+        println!("== engine throughput (events/sec over {repeats} repeats per scenario) ==");
         println!(
-            "{:<24} {:>10.1} {:>12.4} {:>14} {:>12.0}",
-            t.policy, t.load_pps, t.wall_clock_s, t.events, t.events_per_sec
+            "{:<24} {:>10} {:>12} {:>14} {:>12} {:>12} {:>12} {:>12}",
+            "scenario",
+            "load_pps",
+            "wall_s",
+            "events",
+            "eps_min",
+            "eps_mean",
+            "eps_median",
+            "eps_max"
         );
+        for t in &timings {
+            println!(
+                "{:<24} {:>10.1} {:>12.4} {:>14} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+                t.policy,
+                t.load_pps,
+                t.wall_clock_s,
+                t.events,
+                t.eps.min,
+                t.eps.mean,
+                t.eps.median,
+                t.eps.max
+            );
+        }
+    } else {
+        println!("== engine throughput (events/sec, wall-clock per scenario) ==");
+        println!(
+            "{:<24} {:>10} {:>12} {:>14} {:>12}",
+            "scenario", "load_pps", "wall_s", "events", "events/sec"
+        );
+        for t in &timings {
+            println!(
+                "{:<24} {:>10.1} {:>12.4} {:>14} {:>12.0}",
+                t.policy, t.load_pps, t.wall_clock_s, t.events, t.eps.mean
+            );
+        }
     }
     println!(
         "aggregate: {total_events} events in {sum_scenario_wall:.3} s = {aggregate_eps:.0} events/sec"
@@ -233,7 +296,9 @@ fn main() {
                 "load_pps": t.load_pps,
                 "wall_clock_s": t.wall_clock_s,
                 "events": t.events,
-                "events_per_sec": t.events_per_sec,
+                "events_per_sec": t.eps.mean,
+                "repeats": repeats,
+                "events_per_sec_stats": t.eps.to_json(),
                 "sim_seconds": t.sim_seconds,
             })
         })
@@ -242,6 +307,7 @@ fn main() {
         "benchmark": "netperf",
         "seed": seed,
         "quick": quick,
+        "repeats": repeats,
         "scenario_count": timings.len(),
         "wall_clock_s": sum_scenario_wall,
         "harness_wall_clock_s": total_wall_s,
@@ -268,11 +334,68 @@ fn main() {
     // trajectory recorded from full runs.
     let out_path = bench_json_path(quick);
     // The scenario sweep and the `--saturate` mode share the report file;
-    // each rewrite carries the other mode's section forward.
-    if let Some(saturation) = load_json(out_path).and_then(|v| v.get("sink_saturation").cloned()) {
+    // each rewrite carries the other mode's section forward.  The profile
+    // breakdown is carried the same way when this run did not profile.
+    let previous = load_json(out_path);
+    if let Some(saturation) = previous
+        .as_ref()
+        .and_then(|v| v.get("sink_saturation").cloned())
+    {
         set_key(&mut report, "sink_saturation", saturation);
     }
+    if args.profile {
+        print!("{}", breakdown.render("netperf scenario sweep"));
+        profrpt::print_run_event_counters();
+        set_key(
+            &mut report,
+            "time_breakdown",
+            time_breakdown_json(&breakdown),
+        );
+    } else if let Some(previous_breakdown) = previous
+        .as_ref()
+        .and_then(|v| v.get("time_breakdown").cloned())
+    {
+        set_key(&mut report, "time_breakdown", previous_breakdown);
+    }
     write_json(out_path, &report);
+
+    // The CI regression gate: fail loudly when any subsystem's mean share
+    // regressed past its committed budget plus noise band.
+    if let Some(budget_path) = args.check_budget.as_deref() {
+        let budget = ProfBudget::load(budget_path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let violations = budget.check(&breakdown);
+        if violations.is_empty() {
+            println!(
+                "budget gate: all {} subsystems within budget",
+                budget.entries.len()
+            );
+        } else {
+            for v in &violations {
+                eprintln!("FAIL: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Stop the Chrome trace started in `main` and write it to `path`.
+fn write_trace(path: &str, scenario: &str) {
+    let Some((json, events, dropped)) = prof::stop_trace_json() else {
+        eprintln!("trace capture produced no events");
+        return;
+    };
+    match std::fs::write(path, json) {
+        Ok(()) => {
+            println!("wrote {path} ({events} trace events, first run of {scenario})");
+            if dropped > 0 {
+                println!("note: {dropped} trace events dropped at the capacity bound");
+            }
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 /// The committed perf-trajectory file (full runs) or its gitignored quick

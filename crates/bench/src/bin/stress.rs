@@ -19,7 +19,8 @@ use std::time::Instant;
 
 use caem::policy::PolicyKind;
 use caem_bench::cli::{option, ParsedArgs};
-use caem_bench::{rss, DEFAULT_SEED};
+use caem_bench::{profrpt, rss, DEFAULT_SEED};
+use caem_metrics::prof::{self, ProfKey, Profile};
 use caem_simcore::time::{Duration, SimTime};
 use caem_wsnsim::{ScenarioConfig, SimulationRun};
 
@@ -192,6 +193,10 @@ fn flags_spec() -> Result<StressSpec, String> {
 
 fn main() {
     let spec = flags_spec().unwrap_or_else(|e| exit2(e));
+    // The soak always profiles: the per-tick time-share columns are how a
+    // degrading subsystem is spotted mid-run, and when the envelope check
+    // fails at the end the dominant subsystem is named in the violation.
+    prof::set_enabled(true);
 
     let mut cfg = ScenarioConfig::scaled(spec.nodes, spec.policy, spec.traffic_pps, spec.seed)
         .with_duration(Duration::from_millis((spec.duration_s * 1000.0) as u64));
@@ -221,24 +226,46 @@ fn main() {
     );
 
     println!(
-        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "sim_s", "events", "events/s", "alive", "pending", "rss_mb"
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "sim_s",
+        "events",
+        "events/s",
+        "alive",
+        "pending",
+        "rss_mb",
+        "mac%",
+        "chan%",
+        "phy%",
+        "round%",
+        "stat%"
     );
     let soak_started = Instant::now();
     let mut sim_s = 0.0f64;
+    let mut prev_profile = Profile::new();
     while sim_s < spec.duration_s {
         sim_s = (sim_s + spec.tick_s).min(spec.duration_s);
         let tick_started = Instant::now();
         let events = run.run_until(SimTime::from_millis((sim_s * 1000.0) as u64));
         let tick_wall = tick_started.elapsed().as_secs_f64();
+        // This tick's subsystem time shares: the delta of the run's
+        // accumulated profile since the previous tick.
+        let snapshot = run.profile().clone();
+        let tick = snapshot.delta_since(&prev_profile);
+        prev_profile = snapshot;
+        let pct = |share: f64| share * 100.0;
         println!(
-            "{:>8.1} {:>12} {:>12.0} {:>10} {:>10} {:>10.0}",
+            "{:>8.1} {:>12} {:>12.0} {:>10} {:>10} {:>10.0} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
             sim_s,
             events,
             events as f64 / tick_wall.max(1e-9),
             run.alive_count(),
             run.pending_events(),
             rss::current_rss_mb().unwrap_or(f64::NAN),
+            pct(tick.share(ProfKey::Mac)),
+            pct(tick.share(ProfKey::Channel)),
+            pct(tick.share(ProfKey::Phy)),
+            pct(tick.share(ProfKey::ClusterElection) + tick.share(ProfKey::ClusterFormation)),
+            pct(tick.share(ProfKey::StatsSnapshot)),
         );
     }
     let soak_wall = soak_started.elapsed().as_secs_f64();
@@ -276,8 +303,15 @@ fn main() {
         }
     }
     if !violations.is_empty() {
+        // Name the subsystem that ate the most attributed time — the first
+        // place to look when the envelope breaks.
+        let dominant = profrpt::dominant_subsystem(&result.profile)
+            .map(|(key, share)| {
+                format!("{} ({:.1}% of attributed time)", key.label(), share * 100.0)
+            })
+            .unwrap_or_else(|| "unknown (no profile samples)".to_string());
         for v in &violations {
-            eprintln!("SOAK VIOLATION: {v}");
+            eprintln!("SOAK VIOLATION: {v} — dominant subsystem: {dominant}");
         }
         std::process::exit(3);
     }

@@ -223,6 +223,7 @@ pub const EXPERIMENT_FLAGS: &[FlagDef] = &[
     flag("--print-spec"),
     flag("--strict"),
     flag("--fsync"),
+    flag("--profile"),
     option("--chaos"),
     option("--spec"),
     option("--store"),
@@ -283,6 +284,9 @@ pub struct RunArgs {
     /// distributed backend, since the faults target the lease/store
     /// machinery the workers exercise.
     pub chaos: Option<FaultPlanConfig>,
+    /// Enable the `caem_metrics::prof` time-breakdown profiler for the run
+    /// (`--profile`); spawned workers inherit it through the environment.
+    pub profile: bool,
 }
 
 /// The mutually exclusive modes of the `experiment` binary.  One value of
@@ -418,6 +422,7 @@ impl ExperimentCli {
                         "--strict",
                         "--fsync",
                         "--chaos",
+                        "--profile",
                     ],
                 )?;
                 ExperimentMode::Worker { dir, store }
@@ -436,6 +441,7 @@ impl ExperimentCli {
                         "--strict",
                         "--fsync",
                         "--chaos",
+                        "--profile",
                     ],
                 )?;
                 ExperimentMode::Reaggregate {
@@ -462,6 +468,7 @@ impl ExperimentCli {
                         "--strict",
                         "--fsync",
                         "--chaos",
+                        "--profile",
                     ],
                 )?;
                 if introspect == "--list-scenarios" {
@@ -547,6 +554,7 @@ impl ExperimentCli {
                     strict: parsed.has("--strict"),
                     fsync: parsed.has("--fsync"),
                     chaos,
+                    profile: parsed.has("--profile"),
                 })
             }
         };
@@ -652,7 +660,15 @@ impl FigureArgs {
 /// record-sink saturation benchmark (mutex baseline vs the lock-free
 /// collector, hammered from N threads).  `--threads` caps the sweep's top
 /// thread count and is only meaningful there.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The scenario sweep additionally takes `--repeats N` (rten-bench-style
+/// min/mean/median/max/var timing statistics per scenario), `--profile`
+/// (per-subsystem time-breakdown tables and the `time_breakdown` JSON
+/// section), `--trace-out FILE` (Chrome trace-event export of the first
+/// repeat of the first scenario; requires `--profile`) and
+/// `--check-budget FILE` (the CI regression gate against a committed
+/// per-subsystem budget baseline; requires `--profile`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetperfArgs {
     /// The seed (defaults to [`crate::DEFAULT_SEED`]).
     pub seed: u64,
@@ -662,6 +678,16 @@ pub struct NetperfArgs {
     pub saturate: bool,
     /// Top thread count of the saturation sweep (defaults per mode).
     pub threads: Option<usize>,
+    /// Enable the time-breakdown profiler over the scenario sweep.
+    pub profile: bool,
+    /// Timed repeats per scenario (defaults to 1; the simulation output is
+    /// identical across repeats — only the wall clocks differ).
+    pub repeats: Option<usize>,
+    /// Write a Chrome trace-event JSON of one run here (needs `--profile`).
+    pub trace_out: Option<String>,
+    /// Fail (exit 1) when a subsystem's mean share regresses past the noise
+    /// band of this budget file (needs `--profile`).
+    pub check_budget: Option<String>,
 }
 
 impl NetperfArgs {
@@ -672,7 +698,15 @@ impl NetperfArgs {
     {
         let parsed = ParsedArgs::lex(
             args,
-            &[flag("--quick"), flag("--saturate"), option("--threads")],
+            &[
+                flag("--quick"),
+                flag("--saturate"),
+                option("--threads"),
+                flag("--profile"),
+                option("--repeats"),
+                option("--trace-out"),
+                option("--check-budget"),
+            ],
         )?;
         let mut positionals = parsed.positionals.iter();
         let seed = match positionals.next() {
@@ -703,11 +737,49 @@ impl NetperfArgs {
                 });
             }
         }
+        let profile = parsed.has("--profile");
+        let repeats = parsed.parsed::<usize>("--repeats", "an integer >= 1")?;
+        if repeats == Some(0) {
+            return Err(CliError::InvalidValue {
+                flag: "--repeats",
+                value: "0".into(),
+                expected: "an integer >= 1",
+            });
+        }
+        // The profiling vocabulary belongs to the scenario sweep; under
+        // --saturate each of these would be silently ignored.
+        if saturate {
+            for (name, present) in [
+                ("--profile", profile),
+                ("--repeats", repeats.is_some()),
+                ("--trace-out", parsed.has("--trace-out")),
+                ("--check-budget", parsed.has("--check-budget")),
+            ] {
+                if present {
+                    return Err(CliError::NotInMode {
+                        flag: name,
+                        mode: "saturate",
+                    });
+                }
+            }
+        }
+        for dependent in ["--trace-out", "--check-budget"] {
+            if parsed.has(dependent) && !profile {
+                return Err(CliError::Requires {
+                    flag: dependent,
+                    requires: "--profile",
+                });
+            }
+        }
         Ok(NetperfArgs {
             seed,
             quick: parsed.has("--quick"),
             saturate,
             threads,
+            profile,
+            repeats,
+            trace_out: parsed.value("--trace-out").map(str::to_string),
+            check_budget: parsed.value("--check-budget").map(str::to_string),
         })
     }
 
@@ -715,7 +787,11 @@ impl NetperfArgs {
     /// and exiting 2 on a mistake.
     pub fn from_env_or_exit(binary: &str) -> Self {
         Self::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
-            eprintln!("error: {e}\nusage: {binary} [seed] [--quick] [--saturate [--threads N]]");
+            eprintln!(
+                "error: {e}\nusage: {binary} [seed] [--quick] [--repeats N] \
+                 [--profile [--trace-out FILE] [--check-budget FILE]] \
+                 [--saturate [--threads N]]"
+            );
             std::process::exit(2);
         })
     }
@@ -747,9 +823,45 @@ mod tests {
                 strict: false,
                 fsync: false,
                 chaos: None,
+                profile: false,
             })
         );
         assert_eq!(cli.mode_name(), "run");
+    }
+
+    #[test]
+    fn profile_flag_parses_in_run_mode_only() {
+        match parse(&["--quick", "--profile"]).unwrap().mode {
+            ExperimentMode::Run(run) => assert!(run.profile),
+            other => panic!("expected run mode, got {other:?}"),
+        }
+        assert_eq!(
+            parse(&["--reaggregate", "--profile"]),
+            Err(CliError::NotInMode {
+                flag: "--profile",
+                mode: "reaggregate"
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "--worker-shard",
+                "/tmp/g",
+                "--store",
+                "w.jsonl",
+                "--profile"
+            ]),
+            Err(CliError::NotInMode {
+                flag: "--profile",
+                mode: "worker"
+            })
+        );
+        assert_eq!(
+            parse(&["--list-scenarios", "--profile"]),
+            Err(CliError::NotInMode {
+                flag: "--profile",
+                mode: "list-scenarios"
+            })
+        );
     }
 
     #[test]
@@ -1021,5 +1133,67 @@ mod tests {
             NetperfArgs::from_args(args(&["--saturat"])),
             Err(CliError::UnknownFlag("--saturat".to_string()))
         );
+    }
+
+    #[test]
+    fn netperf_args_parse_profile_vocabulary() {
+        let na = NetperfArgs::from_args(args(&[
+            "--quick",
+            "--profile",
+            "--repeats",
+            "5",
+            "--trace-out",
+            "/tmp/trace.json",
+            "--check-budget",
+            "specs/prof_budget.json",
+        ]))
+        .unwrap();
+        assert!(na.profile);
+        assert_eq!(na.repeats, Some(5));
+        assert_eq!(na.trace_out.as_deref(), Some("/tmp/trace.json"));
+        assert_eq!(na.check_budget.as_deref(), Some("specs/prof_budget.json"));
+        // --repeats stands alone (timing stats without the profiler).
+        let na = NetperfArgs::from_args(args(&["--repeats=3"])).unwrap();
+        assert_eq!(na.repeats, Some(3));
+        assert!(!na.profile);
+        assert!(matches!(
+            NetperfArgs::from_args(args(&["--repeats", "0"])),
+            Err(CliError::InvalidValue {
+                flag: "--repeats",
+                ..
+            })
+        ));
+        // Trace export and the budget gate are meaningless without profiling.
+        assert_eq!(
+            NetperfArgs::from_args(args(&["--trace-out", "/tmp/t.json"])),
+            Err(CliError::Requires {
+                flag: "--trace-out",
+                requires: "--profile"
+            })
+        );
+        assert_eq!(
+            NetperfArgs::from_args(args(&["--check-budget", "b.json"])),
+            Err(CliError::Requires {
+                flag: "--check-budget",
+                requires: "--profile"
+            })
+        );
+        // The whole profiling vocabulary is a scenario-sweep affair.
+        for extra in [
+            vec!["--profile"],
+            vec!["--repeats", "2"],
+            vec!["--profile", "--trace-out", "/tmp/t.json"],
+            vec!["--profile", "--check-budget", "b.json"],
+        ] {
+            let mut argv = vec!["--saturate"];
+            argv.extend(extra);
+            assert!(matches!(
+                NetperfArgs::from_args(args(&argv)),
+                Err(CliError::NotInMode {
+                    mode: "saturate",
+                    ..
+                })
+            ));
+        }
     }
 }

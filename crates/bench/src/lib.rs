@@ -23,9 +23,11 @@ use caem_wsnsim::experiment::ScenarioSpec;
 use caem_wsnsim::{ScenarioConfig, Topology};
 
 pub mod cli;
+pub mod profrpt;
 pub mod rss;
 
 pub use cli::{ExperimentCli, ExperimentMode, FigureArgs, NetperfArgs};
+pub use profrpt::{repeat_stats, time_breakdown_json, ProfBudget, RepeatStats};
 
 /// The seed used by all figures unless overridden on the command line.
 pub const DEFAULT_SEED: u64 = 20050612;

@@ -15,7 +15,11 @@
 //!   figure binaries;
 //! * [`merge`] — the [`merge::Commute`] merge law that per-worker summary
 //!   statistics obey, so any merge tree over any partition of the
-//!   observations yields the same aggregate.
+//!   observations yields the same aggregate;
+//! * [`prof`] — the always-compiled, runtime-gated time-breakdown profiler:
+//!   wall time and event counts per subsystem and per event kind, folded
+//!   with the same [`merge::Commute`] law and rendered as carcara-style
+//!   breakdown tables or Chrome trace-event JSON.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +29,7 @@ pub mod fairness;
 pub mod lifetime;
 pub mod merge;
 pub mod perf;
+pub mod prof;
 pub mod report;
 
 pub use energy::{EnergyTracker, PerPacketEnergy};
@@ -32,4 +37,5 @@ pub use fairness::QueueFairness;
 pub use lifetime::{LifetimeTracker, DEFAULT_DEATH_FRACTION};
 pub use merge::Commute;
 pub use perf::NetworkPerformance;
+pub use prof::{Breakdown, ProfKey, Profile, Span};
 pub use report::{Column, Table};

@@ -231,7 +231,11 @@ fn drain(
                 Err(_) => break,
             }
         }
+        // The drainer runs off the simulation threads, so its span goes
+        // straight into the process-wide profile (atomic adds).
+        let span = caem_metrics::prof::Span::start();
         append_line_with_recovery(io, retry, file, &pending, fsync)?;
+        span.stop_global(caem_metrics::prof::ProfKey::Collector, 1);
     }
     Ok(())
 }

@@ -621,6 +621,10 @@ pub struct WorkerOutcome {
 /// This is what the `experiment` binary executes under `--worker-shard`,
 /// and what [`ThreadSpawner`] runs in-process.
 pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
+    // A spawned worker process inherits the coordinator's `--profile`
+    // through the environment; in-process thread workers already share the
+    // coordinator's profiler gate.
+    caem_metrics::prof::install_from_env();
     let layout = ShardLayout::new(&cfg.dir);
     let manifest = GridManifest::load(&layout)?;
     let mut store = ExperimentStore::open_with(&cfg.store_path, StoreOptions { fsync: cfg.fsync })?;
@@ -1083,7 +1087,13 @@ pub fn merge_grid_report(dir: &Path) -> Result<ExperimentReport, DistribError> {
     let layout = ShardLayout::new(dir);
     let manifest = GridManifest::load(&layout)?;
     let stores = layout.discover_worker_stores()?;
+    // Reading worker shard stores back is collector-path work.
+    let span = caem_metrics::prof::Span::start();
     let outcome = collect_grid_outcome(&manifest, &stores)?;
+    span.stop_global(
+        caem_metrics::prof::ProfKey::Collector,
+        outcome.records.len() as u64,
+    );
     let mut report = ExperimentReport::from_records(outcome.records);
     report.failures = outcome.failures;
     Ok(report)

@@ -512,6 +512,10 @@ impl ExperimentReport {
     /// set of distinct seeds observed; [`ExperimentSpec`]-driven runs
     /// overwrite it with the spec's own list.
     pub fn from_records<I: IntoIterator<Item = JobRecord>>(records: I) -> Self {
+        // Aggregation is queue/collector work in the profile's vocabulary;
+        // it runs outside any simulation shard, so it lands in the global
+        // accumulator.
+        let span = caem_metrics::prof::Span::start();
         let mut deduped = crate::persist::dedupe_last_wins(records);
         deduped.sort_by_key(JobRecord::key);
         let mut cells: Vec<ExperimentCell> = Vec::new();
@@ -533,12 +537,17 @@ impl ExperimentReport {
         let mut seeds: Vec<u64> = deduped.iter().map(|r| r.seed).collect();
         seeds.sort_unstable();
         seeds.dedup();
-        ExperimentReport {
+        let report = ExperimentReport {
             seeds,
             job_count: deduped.len(),
             cells,
             failures: Vec::new(),
-        }
+        };
+        span.stop_global(
+            caem_metrics::prof::ProfKey::Collector,
+            report.job_count as u64,
+        );
+        report
     }
     /// The cell for a given scenario label and policy.
     pub fn cell(&self, scenario: &str, policy: PolicyKind) -> Option<&ExperimentCell> {

@@ -6,6 +6,7 @@ use caem_metrics::energy::{EnergyTracker, PerPacketEnergy};
 use caem_metrics::fairness::QueueFairness;
 use caem_metrics::lifetime::LifetimeTracker;
 use caem_metrics::perf::NetworkPerformance;
+use caem_metrics::prof::Profile;
 use caem_simcore::time::SimTime;
 
 /// A compact per-node summary included in the result.
@@ -66,6 +67,11 @@ pub struct SimulationResult {
     /// below [`SimulationResult::queue_capacity`]'s initial sizing the queue
     /// never re-allocated during the run.
     pub queue_high_watermark: usize,
+    /// Per-subsystem / per-event-kind profiling shard of the run.  Empty
+    /// unless `caem_metrics::prof` was enabled; observability-only — it is
+    /// never serialized into experiment records or report artifacts, which
+    /// is what keeps profiled runs byte-identical to clean runs.
+    pub profile: Profile,
 }
 
 impl SimulationResult {
@@ -162,6 +168,7 @@ mod tests {
             events_processed: 500,
             queue_capacity: 64,
             queue_high_watermark: 20,
+            profile: Profile::new(),
         }
     }
 

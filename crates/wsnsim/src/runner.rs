@@ -26,6 +26,7 @@ use caem_metrics::energy::EnergyTracker;
 use caem_metrics::fairness::QueueFairness;
 use caem_metrics::lifetime::LifetimeTracker;
 use caem_metrics::perf::NetworkPerformance;
+use caem_metrics::prof::{self, ProfKey, Profile, Span};
 use caem_phy::ber::packet_error_rate;
 use caem_phy::mode::TransmissionMode;
 use caem_simcore::event::{EventQueue, ScheduledEvent};
@@ -38,6 +39,20 @@ use crate::config::{ConfigError, ScenarioConfig};
 use crate::events::{EventKind, NetworkEvent};
 use crate::result::{NodeSummary, SimulationResult};
 use crate::table::NodeTable;
+
+/// The profile slot each event kind's dispatch runs are attributed to.
+fn event_key(kind: EventKind) -> ProfKey {
+    match kind {
+        EventKind::RoundStart => ProfKey::EvRoundStart,
+        EventKind::PacketArrival => ProfKey::EvPacketArrival,
+        EventKind::SenseChannel => ProfKey::EvSenseChannel,
+        EventKind::BackoffExpired => ProfKey::EvBackoffExpired,
+        EventKind::TransmissionComplete => ProfKey::EvTransmissionComplete,
+        EventKind::NodeFailure => ProfKey::EvNodeFailure,
+        EventKind::EnergySnapshot => ProfKey::EvEnergySnapshot,
+        EventKind::FairnessSnapshot => ProfKey::EvFairnessSnapshot,
+    }
+}
 
 /// A burst currently on the air.
 #[derive(Debug)]
@@ -89,6 +104,10 @@ pub struct SimulationRun {
     bursts: u64,
     node_failures: u64,
     events_processed: u64,
+    /// Per-run profiling shard: wall time + event counts per subsystem and
+    /// per event kind.  Empty unless `caem_metrics::prof` is enabled; never
+    /// feeds back into simulation state, so profiled runs stay bit-identical.
+    prof: Profile,
     // ---- hot-path hoisted constants (derived from `cfg` once) ----
     /// Energy of one tone-channel observation window.
     tone_observation_energy_j: f64,
@@ -158,6 +177,7 @@ impl SimulationRun {
             bursts: 0,
             node_failures: 0,
             events_processed: 0,
+            prof: Profile::new(),
             tone_observation_energy_j,
             sensing_energy_j,
             batch: Vec::new(),
@@ -213,6 +233,13 @@ impl SimulationRun {
     /// Read-only access to the per-node state columns.
     pub fn table(&self) -> &NodeTable {
         &self.table
+    }
+
+    /// The profiling shard accumulated so far (empty when the profiler is
+    /// disabled).  The stress harness diffs consecutive snapshots of this
+    /// to attribute each soak tick.
+    pub fn profile(&self) -> &Profile {
+        &self.prof
     }
 
     fn schedule(&mut self, at: SimTime, event: NetworkEvent) {
@@ -272,9 +299,12 @@ impl SimulationRun {
         }
         // The election and the formation consume the table's hot columns
         // directly: no per-round copies into scratch buffers.
+        let span = Span::start();
         let heads = self
             .election
             .elect_round(self.table.alive_slice(), &mut self.election_rng);
+        span.stop(&mut self.prof, ProfKey::ClusterElection, 1);
+        let span = Span::start();
         let formation = ClusterFormation::nearest_head(
             self.table.positions(),
             &heads,
@@ -316,6 +346,7 @@ impl SimulationRun {
             }
         }
         self.formation = Some(formation);
+        span.stop(&mut self.prof, ProfKey::ClusterFormation, 1);
         let next = self.round_clock.next_round_start(self.now);
         self.schedule(next, NetworkEvent::RoundStart);
     }
@@ -407,14 +438,39 @@ impl SimulationRun {
         let (state, threshold, queue_len, urgent) = self.observation_context(node);
         let observed_state = state;
         let now = self.now;
+        // Per-event subsystem attribution: the MAC decision is timed as a
+        // whole, the lazy CSI closure separately — channel time is carved
+        // out of the MAC slice so the two shares stay disjoint.  All timers
+        // only *read* clocks; the simulation state is untouched.
+        let chan_nanos = std::cell::Cell::new(0u64);
+        let mac_clock = prof::clock();
         let (mac, link) = self.table.mac_link_mut(node);
         let action = mac.observe_tone_lazy(
             state,
-            || link.measure(now).snr_db,
+            || {
+                let t0 = prof::clock();
+                let snr_db = link.measure(now).snr_db;
+                if let Some(t0) = t0 {
+                    chan_nanos.set(t0.elapsed().as_nanos() as u64);
+                }
+                snr_db
+            },
             threshold,
             queue_len,
             urgent,
         );
+        if let Some(t0) = mac_clock {
+            // Test-only hook: CI injects a synthetic MAC slowdown here to
+            // prove the budget gate trips (no-op unless the env var is set,
+            // and only reachable while profiling).
+            prof::selftest_spin();
+            let total = t0.elapsed().as_nanos() as u64;
+            let chan = chan_nanos.get();
+            self.prof.add(ProfKey::Mac, 1, total.saturating_sub(chan));
+            if chan > 0 {
+                self.prof.add(ProfKey::Channel, 1, chan);
+            }
+        }
         match action {
             SensorAction::StartBackoff(backoff) => {
                 // Tone radio stays fully on through the backoff.
@@ -459,14 +515,31 @@ impl SimulationRun {
         }
         let (state, threshold, queue_len, urgent) = self.observation_context(node);
         let now = self.now;
+        let chan_nanos = std::cell::Cell::new(0u64);
+        let mac_clock = prof::clock();
         let (mac, link) = self.table.mac_link_mut(node);
         let action = mac.backoff_expired_lazy(
             state,
-            || link.measure(now).snr_db,
+            || {
+                let t0 = prof::clock();
+                let snr_db = link.measure(now).snr_db;
+                if let Some(t0) = t0 {
+                    chan_nanos.set(t0.elapsed().as_nanos() as u64);
+                }
+                snr_db
+            },
             threshold,
             queue_len,
             urgent,
         );
+        if let Some(t0) = mac_clock {
+            let total = t0.elapsed().as_nanos() as u64;
+            let chan = chan_nanos.get();
+            self.prof.add(ProfKey::Mac, 1, total.saturating_sub(chan));
+            if chan > 0 {
+                self.prof.add(ProfKey::Channel, 1, chan);
+            }
+        }
         match action {
             SensorAction::StartTransmission { burst_size } => {
                 self.start_burst(node, burst_size);
@@ -509,8 +582,19 @@ impl SimulationRun {
         }
         let begin = self.now + self.cfg.power.startup_time;
 
+        let t0 = prof::clock();
         let snr_db = self.measure_snr(node);
-        let Some(mode) = self.table.selector_mut(node).select(snr_db) else {
+        if let Some(t0) = t0 {
+            self.prof
+                .add(ProfKey::Channel, 1, t0.elapsed().as_nanos() as u64);
+        }
+        let t0 = prof::clock();
+        let selected = self.table.selector_mut(node).select(snr_db);
+        if let Some(t0) = t0 {
+            self.prof
+                .add(ProfKey::Phy, 1, t0.elapsed().as_nanos() as u64);
+        }
+        let Some(mode) = selected else {
             // The channel collapsed below the lowest mode between the check
             // and the start-up: treat as a failed access attempt.
             self.abort_after_collision(node, begin + Duration::from_millis(20));
@@ -619,7 +703,13 @@ impl SimulationRun {
         }
         // Per-packet channel-error draw at the SNR seen during the burst.
         let head_alive = self.table.is_alive(burst.head);
+        let t0 = prof::clock();
         let snr_db = self.measure_snr(node);
+        if let Some(t0) = t0 {
+            self.prof
+                .add(ProfKey::Channel, 1, t0.elapsed().as_nanos() as u64);
+        }
+        let t0 = prof::clock();
         let per = packet_error_rate(
             burst.mode.modulation(),
             burst.mode.code_rate(),
@@ -633,6 +723,13 @@ impl SimulationRun {
                     .record_delivered(packet.delay_at(self.now), packet.size_bits);
                 self.table.record_delivered(node);
             }
+        }
+        if let Some(t0) = t0 {
+            self.prof.add(
+                ProfKey::Phy,
+                burst.packets.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
         }
         self.recycle_burst_buffer(burst.packets);
         let queue_len = self.table.queue_len(node);
@@ -658,6 +755,7 @@ impl SimulationRun {
     }
 
     fn handle_energy_snapshot(&mut self) {
+        let span = Span::start();
         let interval = self.cfg.energy_snapshot_interval;
         // Baseline costs accrued over the past interval: data-radio sleep for
         // every live node, tone broadcasts for the current cluster heads.
@@ -679,9 +777,11 @@ impl SimulationRun {
         if self.table.alive_count() > 0 {
             self.schedule(self.now + interval, NetworkEvent::EnergySnapshot);
         }
+        span.stop(&mut self.prof, ProfKey::StatsSnapshot, 1);
     }
 
     fn handle_fairness_snapshot(&mut self) {
+        let span = Span::start();
         // The fairness tracker reads the hot queue-length column through the
         // alive/is-head masks directly — no filtered copy.
         self.fairness.snapshot_masked(
@@ -695,6 +795,7 @@ impl SimulationRun {
                 NetworkEvent::FairnessSnapshot,
             );
         }
+        span.stop(&mut self.prof, ProfKey::StatsSnapshot, 1);
     }
 
     /// Dispatch one same-instant batch: consecutive events of equal kind are
@@ -710,6 +811,7 @@ impl SimulationRun {
             }
             let run = &batch[i..j];
             self.events_processed += run.len() as u64;
+            let span = Span::start();
             match kind {
                 EventKind::PacketArrival => {
                     for e in run {
@@ -767,6 +869,7 @@ impl SimulationRun {
                     }
                 }
             }
+            span.stop(&mut self.prof, event_key(kind), run.len() as u64);
             i = j;
         }
     }
@@ -804,6 +907,13 @@ impl SimulationRun {
         self.energy.snapshot(self.now, self.table.remaining_slice());
         self.perf.set_horizon(self.now);
 
+        // Fold this run's profiling shard into the process-wide accumulator
+        // (commutative adds — safe from parallel experiment workers) and
+        // hand the shard itself to the result.
+        if prof::enabled() {
+            prof::global().add_profile(&self.prof);
+        }
+
         let ledger = self.table.merged_ledger();
         let head_counts = self.election.head_counts().to_vec();
         let nodes: Vec<NodeSummary> = (0..self.table.len())
@@ -835,6 +945,7 @@ impl SimulationRun {
             events_processed: self.events_processed,
             queue_capacity: self.queue.capacity(),
             queue_high_watermark: self.queue.high_watermark(),
+            profile: std::mem::take(&mut self.prof),
         }
     }
 }

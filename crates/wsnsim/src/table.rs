@@ -84,6 +84,9 @@ impl NodeTable {
     /// building column-by-column consumes exactly the random numbers the
     /// node-by-node constructor did.
     pub fn deploy(cfg: &ScenarioConfig, streams: &RngStream) -> Self {
+        // Deployment happens before the run owns a profiling shard, so its
+        // span lands directly in the process-wide profile.
+        let span = caem_metrics::prof::Span::start();
         let n = cfg.node_count;
         let mut placement_rng = streams.derive(components::PLACEMENT, 0);
         let positions = cfg.topology.generate(&cfg.field, n, &mut placement_rng);
@@ -145,7 +148,7 @@ impl NodeTable {
             })
             .collect();
 
-        NodeTable {
+        let table = NodeTable {
             alive: vec![true; n],
             is_head: vec![false; n],
             cluster: vec![NO_CLUSTER; n],
@@ -165,7 +168,9 @@ impl NodeTable {
             sources,
             links,
             selectors: (0..n).map(|_| ModeSelector::default()).collect(),
-        }
+        };
+        span.stop_global(caem_metrics::prof::ProfKey::Deploy, n as u64);
+        table
     }
 
     /// Number of nodes (alive or dead).

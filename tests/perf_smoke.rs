@@ -53,4 +53,14 @@ fn small_scenario_stays_inside_generous_budgets() {
         result.queue_high_watermark,
         queue_capacity
     );
+
+    // The always-compiled profiler instrumentation sits on the hot path
+    // behind one disabled-by-default branch.  This run never enabled it, so
+    // no samples may have accumulated — and the generous wall budget above
+    // doubles as the disabled-path overhead smoke: the instrumented loop
+    // must still clear it easily.
+    assert!(
+        result.profile.is_empty(),
+        "profiler accumulated samples while disabled"
+    );
 }

@@ -337,6 +337,7 @@ fn overflow_result(deliveries: u64) -> SimulationResult {
         events_processed: 123,
         queue_capacity: 64,
         queue_high_watermark: 10,
+        profile: caem_suite::metrics::prof::Profile::new(),
     }
 }
 

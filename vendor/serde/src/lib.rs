@@ -66,6 +66,14 @@ impl Value {
         }
     }
 
+    /// The value as a string slice if it is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
     /// The value as an `i64` if it is an integral number in range.
     pub fn as_i64(&self) -> Option<i64> {
         match *self {
