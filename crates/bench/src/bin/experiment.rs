@@ -40,6 +40,7 @@
 //! (`_quick` variants, gitignored, for `--quick` runs).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use caem_bench::cli::{RunArgs, RunBackend, SequentialArgs};
 use caem_bench::{
@@ -55,7 +56,8 @@ use caem_wsnsim::experiment::{
 };
 use caem_wsnsim::faults::{self, FaultRole};
 use caem_wsnsim::persist::{config_hash, ExperimentStore, StoreOptions};
-use caem_wsnsim::spec::{GridSpec, ResolvedSpec};
+use caem_wsnsim::serve::{run_socket_worker, SocketWorkerOptions, TcpLink, WorkerExit};
+use caem_wsnsim::spec::{DistribTuning, GridSpec, ResolvedSpec};
 
 const USAGE: &str = "\
 usage: experiment [seed] [--quick] [--spec <file>] [mode flags]
@@ -76,6 +78,9 @@ modes (at most one selector; `run` is the default):
       --max-replicates <n> replicate cap (default 12 quick / 30 full)
     --workers <n>        distributed: spawn n worker processes over a shard dir
       --distrib-dir <dir>  shard directory (default BENCH_experiment_distrib*)
+      --lease-ttl <s>      shard-lease TTL in seconds before an unrefreshed
+                           claim may be stolen (wins over the spec's distrib
+                           block; default 60)
       --chaos <seed:kinds> deterministic fault injection across the run
                            (kinds: kill, torn, skew, transient, delay, poison,
                            all; `+`-separated, e.g. --chaos 11:kill+torn)
@@ -85,7 +90,13 @@ modes (at most one selector; `run` is the default):
                          (spawned workers inherit it through the environment;
                          the report artifact stays byte-identical)
   --reaggregate          rebuild the report offline from the JSONL store alone
-  --worker-shard <dir>   participate in a distributed grid (requires --store)
+  --worker-shard <dir>   participate in a distributed grid (requires --store;
+                         --lease-ttl overrides the worker's claim TTL)
+  --connect <addr>       attach to a caem-serve daemon as a socket worker
+                         (no shared filesystem; jobs and records travel over
+                         length-prefixed JSON frames)
+    --protocol <n>       claim a specific protocol version in the handshake
+    --expect-hash <h>    refuse to serve a grid whose manifest hash differs
   --list-scenarios       print scenario labels + config hashes; no simulation
   --print-spec           dump the canonical resolved spec as JSON; no simulation
 
@@ -109,6 +120,7 @@ struct Grid {
     spec: ExperimentSpec,
     sequential: Option<SequentialStopping>,
     replicates: usize,
+    distrib: DistribTuning,
 }
 
 /// Resolve the grid definition: a `--spec` document when given, the
@@ -129,6 +141,7 @@ fn load_grid(cli: &ExperimentCli) -> Grid {
                 // Already batch-defaulted and validated by resolve().
                 sequential: resolved.sequential,
                 replicates,
+                distrib: resolved.distrib,
             }
         }
         None => {
@@ -141,6 +154,7 @@ fn load_grid(cli: &ExperimentCli) -> Grid {
                 ),
                 sequential: None,
                 replicates,
+                distrib: DistribTuning::default(),
             }
         }
     }
@@ -278,7 +292,7 @@ fn print_sequential_outcome(outcome: &SequentialOutcome, metric: &str) {
 /// is claimable, then exit.  Fully manifest-driven: the grid's scenarios,
 /// seeds and configs come from the shard directory, not from this process's
 /// other flags (the CLI rejects them in this mode).
-fn worker_mode(dir: &str, store: &str) -> ! {
+fn worker_mode(dir: &str, store: &str, lease_ttl: Option<f64>) -> ! {
     // Inherit the coordinator's chaos schedule and fsync setting across
     // `exec`.  A malformed plan is fatal: a chaos run silently downgrading
     // to a clean run would fake test coverage.
@@ -286,6 +300,9 @@ fn worker_mode(dir: &str, store: &str) -> ! {
         .unwrap_or_else(|e| die(format!("bad {} value: {e}", faults::CHAOS_ENV)));
     let mut cfg = WorkerConfig::new(dir, store, format!("pid_{}", std::process::id()));
     cfg.fsync = std::env::var(faults::FSYNC_ENV).is_ok_and(|v| !v.is_empty());
+    if let Some(secs) = lease_ttl {
+        cfg.lease_ttl = Duration::from_secs_f64(secs);
+    }
     match run_worker(&cfg) {
         Ok(outcome) => {
             println!(
@@ -308,6 +325,54 @@ fn worker_mode(dir: &str, store: &str) -> ! {
             std::process::exit(0);
         }
         Err(e) => die(format!("worker on {dir} failed: {e}")),
+    }
+}
+
+/// `--connect <addr>`: attach to a `caem-serve` daemon as a socket worker.
+/// No shared filesystem: jobs arrive inline with the shard grant, record
+/// lines stream back in coalesced frames.  A handshake rejection (wrong
+/// protocol version, manifest-hash mismatch) is a usage-class error and
+/// exits 2; a transport failure mid-run exits 1.
+fn socket_worker_mode(addr: &str, protocol: Option<u64>, expect_hash: Option<u64>) -> ! {
+    faults::install_plan_from_env(FaultRole::Worker)
+        .unwrap_or_else(|e| die(format!("bad {} value: {e}", faults::CHAOS_ENV)));
+    let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to daemon at {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut link = TcpLink::new(stream);
+    let mut opts = SocketWorkerOptions::new(format!("pid_{}", std::process::id()));
+    if let Some(version) = protocol {
+        opts.protocol = version;
+    }
+    opts.expect_hash = expect_hash;
+    match run_socket_worker(&mut link, &opts) {
+        Ok(WorkerExit::Finished(outcome)) => {
+            println!(
+                "worker {}: {} shards completed, {} jobs simulated, {} quarantined via {addr}",
+                std::process::id(),
+                outcome.shards_completed,
+                outcome.jobs_run,
+                outcome.jobs_quarantined,
+            );
+            if let Some(summary) = faults::event_summary() {
+                println!("worker {}: {summary}", std::process::id());
+            }
+            if prof::enabled() {
+                profrpt::print_profile_totals(
+                    &format!("worker {} time breakdown", std::process::id()),
+                    &prof::global().snapshot(),
+                );
+            }
+            std::process::exit(0);
+        }
+        Ok(WorkerExit::Rejected(reason)) => {
+            die(format!("daemon at {addr} rejected this worker: {reason}"))
+        }
+        Err(e) => {
+            eprintln!("error: worker transport to {addr} failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -361,6 +426,12 @@ fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
             let n = *workers;
             let dir_path =
                 PathBuf::from(dir.clone().unwrap_or_else(|| paths.distrib_dir.to_string()));
+            // Shard-lease TTL precedence: explicit flag > the spec's distrib
+            // block > the built-in default (already folded into `grid`).
+            let lease_ttl = args
+                .lease_ttl
+                .map(Duration::from_secs_f64)
+                .unwrap_or(grid.distrib.lease_ttl);
             let opts = DistribOptions {
                 // Mirror the store semantics: a plain fixed-replicate run
                 // starts the *default* shard directory afresh.  Never wiped:
@@ -370,9 +441,16 @@ fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
                 // the completed rounds).
                 fresh: !args.resume && dir.is_none() && sequential.is_none(),
                 fsync: args.fsync,
+                lease_ttl,
                 ..DistribOptions::new(n)
             };
-            let mut spawner = ProcessSpawner::current_exe(Vec::new())
+            // Forward the *effective* TTL so spawned workers steal on the
+            // same clock the coordinator evicts on.
+            let base_args = vec![
+                "--lease-ttl".to_string(),
+                format!("{}", lease_ttl.as_secs_f64()),
+            ];
+            let mut spawner = ProcessSpawner::current_exe(base_args)
                 .unwrap_or_else(|e| die(format!("cannot locate worker binary: {e}")));
             if let Some(chaos) = &args.chaos {
                 // The coordinator participates in the schedule (lease and
@@ -501,15 +579,32 @@ fn run_mode(cli: &ExperimentCli, args: &RunArgs, grid: Grid, paths: &Paths) {
 
 fn main() {
     let cli = ExperimentCli::from_env().unwrap_or_else(|e| die_usage(e.to_string()));
-    if let ExperimentMode::Worker { dir, store } = &cli.mode {
+    if let ExperimentMode::Worker {
+        dir,
+        store,
+        lease_ttl,
+    } = &cli.mode
+    {
         // Workers are manifest-driven; no grid resolution happens here.
-        worker_mode(dir, store);
+        worker_mode(dir, store, *lease_ttl);
+    }
+    if let ExperimentMode::SocketWorker {
+        addr,
+        protocol,
+        expect_hash,
+    } = &cli.mode
+    {
+        // Socket workers receive their jobs from the daemon; no grid
+        // resolution (and no filesystem) on this side either.
+        socket_worker_mode(addr, *protocol, *expect_hash);
     }
     let paths = default_paths(cli.quick);
     let grid = load_grid(&cli);
 
     match &cli.mode {
-        ExperimentMode::Worker { .. } => unreachable!("handled above"),
+        ExperimentMode::Worker { .. } | ExperimentMode::SocketWorker { .. } => {
+            unreachable!("handled above")
+        }
         ExperimentMode::ListScenarios => {
             // Introspection: the resolved grid, no simulation, no stores.
             println!(

@@ -233,6 +233,10 @@ pub const EXPERIMENT_FLAGS: &[FlagDef] = &[
     option("--target-ci"),
     option("--ci-metric"),
     option("--max-replicates"),
+    option("--lease-ttl"),
+    option("--connect"),
+    option("--protocol"),
+    option("--expect-hash"),
 ];
 
 /// Where a (non-distributed or distributed) grid run executes and persists.
@@ -280,6 +284,10 @@ pub struct RunArgs {
     pub strict: bool,
     /// fsync every store append (`--fsync`).
     pub fsync: bool,
+    /// Shard-lease TTL override in seconds (`--lease-ttl`); requires a
+    /// distributed backend, and takes precedence over the spec's `distrib`
+    /// block.
+    pub lease_ttl: Option<f64>,
     /// Fault-injection schedule (`--chaos seed:kind+kind`); requires a
     /// distributed backend, since the faults target the lease/store
     /// machinery the workers exercise.
@@ -308,6 +316,19 @@ pub enum ExperimentMode {
         dir: String,
         /// This worker's own JSONL store.
         store: String,
+        /// Shard-lease TTL override in seconds (`--lease-ttl`).
+        lease_ttl: Option<f64>,
+    },
+    /// Attach to a `caem-serve` daemon as a socket worker (no shared
+    /// filesystem; jobs arrive over the wire).
+    SocketWorker {
+        /// The daemon address (`host:port`).
+        addr: String,
+        /// Protocol version override (testing version-skew rejection).
+        protocol: Option<u64>,
+        /// Refuse to work unless the daemon's active grid has this
+        /// manifest hash.
+        expect_hash: Option<u64>,
     },
     /// Print the grid's scenario labels and config hashes; simulates nothing.
     ListScenarios,
@@ -326,6 +347,7 @@ impl ExperimentMode {
             },
             ExperimentMode::Reaggregate { .. } => "reaggregate",
             ExperimentMode::Worker { .. } => "worker",
+            ExperimentMode::SocketWorker { .. } => "socket-worker",
             ExperimentMode::ListScenarios => "list-scenarios",
             ExperimentMode::PrintSpec => "print-spec",
         }
@@ -371,9 +393,10 @@ impl ExperimentCli {
         }
 
         // Exactly one mode selector may be present.
-        let selectors: [(&'static str, bool); 4] = [
+        let selectors: [(&'static str, bool); 5] = [
             ("--reaggregate", parsed.has("--reaggregate")),
             ("--worker-shard", parsed.has("--worker-shard")),
+            ("--connect", parsed.has("--connect")),
             ("--list-scenarios", parsed.has("--list-scenarios")),
             ("--print-spec", parsed.has("--print-spec")),
         ];
@@ -423,9 +446,52 @@ impl ExperimentCli {
                         "--fsync",
                         "--chaos",
                         "--profile",
+                        "--protocol",
+                        "--expect-hash",
                     ],
                 )?;
-                ExperimentMode::Worker { dir, store }
+                ExperimentMode::Worker {
+                    dir,
+                    store,
+                    lease_ttl: positive_seconds(&parsed, "--lease-ttl")?,
+                }
+            }
+            Some("--connect") => {
+                if let Some(extra) = parsed.positionals.first() {
+                    return Err(CliError::UnexpectedPositional(extra.clone()));
+                }
+                let addr = parsed
+                    .value("--connect")
+                    .expect("lexer enforced the value")
+                    .to_string();
+                // A socket worker learns everything else (jobs, lease
+                // tuning, heartbeat cadence) from the daemon's handshake
+                // and grants; every other flag would be silently ignored.
+                reject_all(
+                    &parsed,
+                    "socket-worker",
+                    &[
+                        "--resume",
+                        "--store",
+                        "--workers",
+                        "--distrib-dir",
+                        "--target-ci",
+                        "--ci-metric",
+                        "--max-replicates",
+                        "--quick",
+                        "--spec",
+                        "--strict",
+                        "--fsync",
+                        "--chaos",
+                        "--profile",
+                        "--lease-ttl",
+                    ],
+                )?;
+                ExperimentMode::SocketWorker {
+                    addr,
+                    protocol: parsed.parsed("--protocol", "an unsigned integer version")?,
+                    expect_hash: parsed.parsed("--expect-hash", "an unsigned integer hash")?,
+                }
             }
             Some("--reaggregate") => {
                 reject_all(
@@ -442,6 +508,9 @@ impl ExperimentCli {
                         "--fsync",
                         "--chaos",
                         "--profile",
+                        "--lease-ttl",
+                        "--protocol",
+                        "--expect-hash",
                     ],
                 )?;
                 ExperimentMode::Reaggregate {
@@ -469,6 +538,9 @@ impl ExperimentCli {
                         "--fsync",
                         "--chaos",
                         "--profile",
+                        "--lease-ttl",
+                        "--protocol",
+                        "--expect-hash",
                     ],
                 )?;
                 if introspect == "--list-scenarios" {
@@ -478,6 +550,8 @@ impl ExperimentCli {
                 }
             }
             _ => {
+                // The socket-worker vocabulary means nothing to a run.
+                reject_all(&parsed, "run", &["--protocol", "--expect-hash"])?;
                 let sequential = match parsed.parsed::<f64>("--target-ci", "a number")? {
                     Some(target_half_width) => Some(SequentialArgs {
                         target_half_width,
@@ -528,6 +602,15 @@ impl ExperimentCli {
                         }
                     }
                 };
+                let lease_ttl = positive_seconds(&parsed, "--lease-ttl")?;
+                if lease_ttl.is_some() && !matches!(backend, RunBackend::Distributed { .. }) {
+                    // Leases only exist on the distributed path; a local
+                    // run would silently ignore the TTL.
+                    return Err(CliError::Requires {
+                        flag: "--lease-ttl",
+                        requires: "--workers",
+                    });
+                }
                 let chaos = match parsed.value("--chaos") {
                     None => None,
                     Some(text) => {
@@ -553,6 +636,7 @@ impl ExperimentCli {
                     sequential,
                     strict: parsed.has("--strict"),
                     fsync: parsed.has("--fsync"),
+                    lease_ttl,
                     chaos,
                     profile: parsed.has("--profile"),
                 })
@@ -586,6 +670,21 @@ fn reject_all(
     Ok(())
 }
 
+/// Parse a duration-in-seconds flag that must be positive and finite.
+/// Mirrors the spec layer's `distrib.lease_ttl_s` validation
+/// (`ConfigError::NonPositive`) at the flag boundary.
+fn positive_seconds(parsed: &ParsedArgs, flag: &'static str) -> Result<Option<f64>, CliError> {
+    match parsed.parsed::<f64>(flag, "a positive number of seconds")? {
+        None => Ok(None),
+        Some(v) if v > 0.0 && v.is_finite() => Ok(Some(v)),
+        Some(_) => Err(CliError::InvalidValue {
+            flag,
+            value: parsed.value(flag).unwrap_or_default().to_string(),
+            expected: "a positive number of seconds",
+        }),
+    }
+}
+
 /// Validator for count flags that must be ≥ 1.
 fn require_at_least_one(flag: &'static str) -> impl Fn(usize) -> Result<usize, CliError> {
     move |n| {
@@ -598,6 +697,202 @@ fn require_at_least_one(flag: &'static str) -> impl Fn(usize) -> Result<usize, C
                 expected: "an integer >= 1",
             })
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// caem-serve: daemon and client modes of the experiment service.
+// ---------------------------------------------------------------------------
+
+/// The `caem-serve` binary's flag vocabulary.
+pub const SERVE_FLAGS: &[FlagDef] = &[
+    option("--listen"),
+    option("--shards"),
+    option("--lease-ttl"),
+    option("--heartbeat"),
+    option("--submit"),
+    option("--addr"),
+    flag("--quick"),
+    option("--seed"),
+    flag("--status"),
+    flag("--fetch"),
+    option("--out"),
+    option("--timeout"),
+];
+
+/// The mutually exclusive modes of the `caem-serve` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeMode {
+    /// Run the daemon: listen for workers and clients.
+    Daemon {
+        /// Listen address (`host:port`).
+        listen: String,
+        /// Shards per submitted grid (default 8, clamped to job count).
+        shards: Option<usize>,
+        /// Shard-lease TTL override in seconds (wins over spec `distrib`).
+        lease_ttl: Option<f64>,
+        /// Heartbeat-interval override in seconds.
+        heartbeat: Option<f64>,
+    },
+    /// Submit a grid-spec file to a daemon.
+    Submit {
+        /// Daemon address.
+        addr: String,
+        /// Path of the grid-spec JSON document.
+        file: String,
+        /// Resolve the spec in quick mode.
+        quick: bool,
+        /// Default seed when the document pins no `base_seed`.
+        seed: Option<u64>,
+    },
+    /// Print a daemon's progress snapshot.
+    Status {
+        /// Daemon address.
+        addr: String,
+    },
+    /// Fetch the most recent completed report.
+    Fetch {
+        /// Daemon address.
+        addr: String,
+        /// Write the report here instead of stdout.
+        out: Option<String>,
+        /// Give up after this many seconds (default 60).
+        timeout: Option<f64>,
+    },
+}
+
+/// The `caem-serve` binary's parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCli {
+    /// What this invocation does.
+    pub mode: ServeMode,
+}
+
+impl ServeCli {
+    /// Parse the process command line (skipping the program name).
+    pub fn from_env() -> Result<Self, CliError> {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (testable entry point).
+    pub fn from_args<I>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let parsed = ParsedArgs::lex(args, SERVE_FLAGS)?;
+        if let Some(extra) = parsed.positionals.first() {
+            return Err(CliError::UnexpectedPositional(extra.clone()));
+        }
+        let selectors: [(&'static str, bool); 4] = [
+            ("--listen", parsed.has("--listen")),
+            ("--submit", parsed.has("--submit")),
+            ("--status", parsed.has("--status")),
+            ("--fetch", parsed.has("--fetch")),
+        ];
+        let mut selected: Option<&'static str> = None;
+        for (name, present) in selectors {
+            if present {
+                if let Some(earlier) = selected {
+                    return Err(CliError::ModeConflict(earlier, name));
+                }
+                selected = Some(name);
+            }
+        }
+        let addr_for = |mode: &'static str| -> Result<String, CliError> {
+            parsed
+                .value("--addr")
+                .map(str::to_string)
+                .ok_or(CliError::Requires {
+                    flag: mode,
+                    requires: "--addr",
+                })
+        };
+        let mode = match selected {
+            Some("--listen") => {
+                reject_all(
+                    &parsed,
+                    "daemon",
+                    &["--addr", "--quick", "--seed", "--out", "--timeout"],
+                )?;
+                ServeMode::Daemon {
+                    listen: parsed
+                        .value("--listen")
+                        .expect("lexer enforced the value")
+                        .to_string(),
+                    shards: parsed
+                        .parsed("--shards", "an integer >= 1")?
+                        .map(require_at_least_one("--shards"))
+                        .transpose()?,
+                    lease_ttl: positive_seconds(&parsed, "--lease-ttl")?,
+                    heartbeat: positive_seconds(&parsed, "--heartbeat")?,
+                }
+            }
+            Some("--submit") => {
+                reject_all(
+                    &parsed,
+                    "submit",
+                    &[
+                        "--shards",
+                        "--lease-ttl",
+                        "--heartbeat",
+                        "--out",
+                        "--timeout",
+                    ],
+                )?;
+                ServeMode::Submit {
+                    addr: addr_for("--submit")?,
+                    file: parsed
+                        .value("--submit")
+                        .expect("lexer enforced the value")
+                        .to_string(),
+                    quick: parsed.has("--quick"),
+                    seed: parsed.parsed("--seed", "an unsigned integer seed")?,
+                }
+            }
+            Some("--status") => {
+                reject_all(
+                    &parsed,
+                    "status",
+                    &[
+                        "--shards",
+                        "--lease-ttl",
+                        "--heartbeat",
+                        "--quick",
+                        "--seed",
+                        "--out",
+                        "--timeout",
+                    ],
+                )?;
+                ServeMode::Status {
+                    addr: addr_for("--status")?,
+                }
+            }
+            Some("--fetch") => {
+                reject_all(
+                    &parsed,
+                    "fetch",
+                    &[
+                        "--shards",
+                        "--lease-ttl",
+                        "--heartbeat",
+                        "--quick",
+                        "--seed",
+                    ],
+                )?;
+                ServeMode::Fetch {
+                    addr: addr_for("--fetch")?,
+                    out: parsed.value("--out").map(str::to_string),
+                    timeout: positive_seconds(&parsed, "--timeout")?,
+                }
+            }
+            _ => {
+                return Err(CliError::Requires {
+                    flag: "caem-serve",
+                    requires: "one of --listen, --submit, --status, --fetch",
+                })
+            }
+        };
+        Ok(ServeCli { mode })
     }
 }
 
@@ -822,6 +1117,7 @@ mod tests {
                 sequential: None,
                 strict: false,
                 fsync: false,
+                lease_ttl: None,
                 chaos: None,
                 profile: false,
             })
@@ -952,7 +1248,8 @@ mod tests {
             cli.mode,
             ExperimentMode::Worker {
                 dir: "/tmp/g".to_string(),
-                store: "w.jsonl".to_string()
+                store: "w.jsonl".to_string(),
+                lease_ttl: None,
             }
         );
         assert_eq!(
@@ -1078,6 +1375,194 @@ mod tests {
                 other => panic!("expected run mode, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn socket_worker_mode_parses_and_rejects_run_flags() {
+        let cli = parse(&["--connect", "127.0.0.1:7171"]).unwrap();
+        assert_eq!(
+            cli.mode,
+            ExperimentMode::SocketWorker {
+                addr: "127.0.0.1:7171".to_string(),
+                protocol: None,
+                expect_hash: None,
+            }
+        );
+        assert_eq!(cli.mode_name(), "socket-worker");
+        let cli = parse(&[
+            "--connect=127.0.0.1:7171",
+            "--protocol=99",
+            "--expect-hash=42",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.mode,
+            ExperimentMode::SocketWorker {
+                addr: "127.0.0.1:7171".to_string(),
+                protocol: Some(99),
+                expect_hash: Some(42),
+            }
+        );
+        assert_eq!(
+            parse(&["--connect", "127.0.0.1:7171", "--quick"]),
+            Err(CliError::NotInMode {
+                flag: "--quick",
+                mode: "socket-worker"
+            })
+        );
+        assert_eq!(
+            parse(&["--connect", "127.0.0.1:7171", "--worker-shard", "/tmp/g"]),
+            Err(CliError::ModeConflict("--worker-shard", "--connect"))
+        );
+        // The socket vocabulary is meaningless to the file-based modes.
+        assert_eq!(
+            parse(&["--protocol", "1"]),
+            Err(CliError::NotInMode {
+                flag: "--protocol",
+                mode: "run"
+            })
+        );
+    }
+
+    #[test]
+    fn lease_ttl_parses_on_the_distributed_paths_only() {
+        match parse(&["--workers=2", "--lease-ttl=0.5"]).unwrap().mode {
+            ExperimentMode::Run(run) => assert_eq!(run.lease_ttl, Some(0.5)),
+            other => panic!("expected run mode, got {other:?}"),
+        }
+        match parse(&[
+            "--worker-shard",
+            "/tmp/g",
+            "--store",
+            "w.jsonl",
+            "--lease-ttl=2",
+        ])
+        .unwrap()
+        .mode
+        {
+            ExperimentMode::Worker { lease_ttl, .. } => assert_eq!(lease_ttl, Some(2.0)),
+            other => panic!("expected worker mode, got {other:?}"),
+        }
+        assert_eq!(
+            parse(&["--lease-ttl=30"]),
+            Err(CliError::Requires {
+                flag: "--lease-ttl",
+                requires: "--workers"
+            })
+        );
+        // Non-positive TTLs are typed errors, mirroring the spec layer's
+        // NonPositive on distrib.lease_ttl_s.
+        assert!(matches!(
+            parse(&["--workers=2", "--lease-ttl=0"]),
+            Err(CliError::InvalidValue {
+                flag: "--lease-ttl",
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse(&["--workers=2", "--lease-ttl=-5"]),
+            Err(CliError::InvalidValue {
+                flag: "--lease-ttl",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn serve_cli_parses_its_four_modes() {
+        let daemon = ServeCli::from_args(args(&[
+            "--listen",
+            "127.0.0.1:7171",
+            "--shards=4",
+            "--lease-ttl=1.5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            daemon.mode,
+            ServeMode::Daemon {
+                listen: "127.0.0.1:7171".to_string(),
+                shards: Some(4),
+                lease_ttl: Some(1.5),
+                heartbeat: None,
+            }
+        );
+        let submit = ServeCli::from_args(args(&[
+            "--submit",
+            "specs/zoo.json",
+            "--addr",
+            "127.0.0.1:7171",
+            "--quick",
+            "--seed=7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            submit.mode,
+            ServeMode::Submit {
+                addr: "127.0.0.1:7171".to_string(),
+                file: "specs/zoo.json".to_string(),
+                quick: true,
+                seed: Some(7),
+            }
+        );
+        let status = ServeCli::from_args(args(&["--status", "--addr=127.0.0.1:7171"])).unwrap();
+        assert_eq!(
+            status.mode,
+            ServeMode::Status {
+                addr: "127.0.0.1:7171".to_string()
+            }
+        );
+        let fetch = ServeCli::from_args(args(&[
+            "--fetch",
+            "--addr=127.0.0.1:7171",
+            "--out",
+            "/tmp/report.json",
+            "--timeout=120",
+        ]))
+        .unwrap();
+        assert_eq!(
+            fetch.mode,
+            ServeMode::Fetch {
+                addr: "127.0.0.1:7171".to_string(),
+                out: Some("/tmp/report.json".to_string()),
+                timeout: Some(120.0),
+            }
+        );
+    }
+
+    #[test]
+    fn serve_cli_rejects_cross_mode_and_missing_flags() {
+        assert_eq!(
+            ServeCli::from_args(args(&["--status"])),
+            Err(CliError::Requires {
+                flag: "--status",
+                requires: "--addr"
+            })
+        );
+        assert_eq!(
+            ServeCli::from_args(args(&["--listen", "x:1", "--fetch"])),
+            Err(CliError::ModeConflict("--listen", "--fetch"))
+        );
+        assert_eq!(
+            ServeCli::from_args(args(&["--listen", "x:1", "--quick"])),
+            Err(CliError::NotInMode {
+                flag: "--quick",
+                mode: "daemon"
+            })
+        );
+        assert_eq!(
+            ServeCli::from_args(args(&[])),
+            Err(CliError::Requires {
+                flag: "caem-serve",
+                requires: "one of --listen, --submit, --status, --fetch"
+            })
+        );
+        assert!(matches!(
+            ServeCli::from_args(args(&["--listen", "x:1", "--heartbeat=0"])),
+            Err(CliError::InvalidValue {
+                flag: "--heartbeat",
+                ..
+            })
+        ));
     }
 
     #[test]

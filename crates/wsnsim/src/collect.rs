@@ -57,7 +57,7 @@ use crate::persist::{
 /// Coalesce queued lines into writes of at most this many bytes: large
 /// enough to amortize the syscall under saturation, small enough that a
 /// torn batch loses little.
-const GATHER_BYTES: usize = 64 * 1024;
+pub(crate) const GATHER_BYTES: usize = 64 * 1024;
 
 /// Distinguishes collectors so a thread-local buffer left over from one
 /// collector can never leak lines into the next.

@@ -71,6 +71,16 @@ pub const MANIFEST_VERSION: u64 = 1;
 /// File name of the grid manifest inside a shard directory.
 pub const MANIFEST_FILE: &str = "grid.json";
 
+/// Default shard-lease TTL before an unrefreshed claim may be stolen.
+/// Overridable per run through the spec's `distrib` block and the
+/// `--lease-ttl` flag.
+pub const DEFAULT_LEASE_TTL: StdDuration = StdDuration::from_secs(60);
+
+/// Default heartbeat interval of socket-transport workers.  The file-based
+/// protocol heartbeats implicitly — every completed job bumps the lease
+/// mtime — so only the service transport consults this directly.
+pub const DEFAULT_HEARTBEAT: StdDuration = StdDuration::from_secs(5);
+
 /// Errors raised by the distributed runner.
 #[derive(Debug)]
 pub enum DistribError {
@@ -554,6 +564,42 @@ fn refresh_lease(layout: &ShardLayout, shard: usize, me: &ShardLease) -> Result<
     write_atomic(&layout.lease_path(shard), body.as_bytes(), false)
 }
 
+/// Release a held lease outright — the graceful-shutdown path.  Removing
+/// the file lets any other worker's atomic `create_new` claim the shard
+/// **instantly**, with no TTL wait; a lease that is already gone is fine.
+fn release_lease(layout: &ShardLayout, shard: usize) -> Result<(), DistribError> {
+    match fs::remove_file(layout.lease_path(shard)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Process-wide graceful-shutdown flag, checked between jobs and between
+/// shards.  Socket workers raise it when the daemon connection closes; the
+/// CLI raises it from a SIGTERM-style request.  There is deliberately no
+/// way to lower it — shutdown is one-way.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Ask every worker loop in this process to wind down: finish (or skip)
+/// the job at hand, flush collector buffers, release unfinished leases and
+/// return cleanly.  A released shard is immediately claimable by any other
+/// worker — no TTL expiry is involved.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether a graceful shutdown has been requested in this process.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Lower the shutdown flag (test isolation only — production shutdown is
+/// one-way).
+pub fn reset_shutdown() {
+    SHUTDOWN.store(false, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Everything a worker needs to participate in a grid.
 #[derive(Debug, Clone)]
 pub struct WorkerConfig {
@@ -579,8 +625,9 @@ pub struct WorkerConfig {
 }
 
 impl WorkerConfig {
-    /// A worker on `dir` writing to `store_path`, with a 60 s lease TTL,
-    /// no per-append fsync, 2 attempts per job and no wall-clock budget.
+    /// A worker on `dir` writing to `store_path`, with the default lease
+    /// TTL ([`DEFAULT_LEASE_TTL`]), no per-append fsync, 2 attempts per job
+    /// and no wall-clock budget.
     pub fn new(
         dir: impl Into<PathBuf>,
         store_path: impl Into<PathBuf>,
@@ -590,7 +637,7 @@ impl WorkerConfig {
             dir: dir.into(),
             store_path: store_path.into(),
             label: label.into(),
-            lease_ttl: StdDuration::from_secs(60),
+            lease_ttl: DEFAULT_LEASE_TTL,
             max_shards: None,
             fsync: false,
             job_attempts: 2,
@@ -620,6 +667,12 @@ pub struct WorkerOutcome {
 ///
 /// This is what the `experiment` binary executes under `--worker-shard`,
 /// and what [`ThreadSpawner`] runs in-process.
+///
+/// **Graceful shutdown**: once [`request_shutdown`] has been called, the
+/// loop skips jobs it has not started, flushes the store's collector
+/// buffers, **releases** the lease of any unfinished shard (so another
+/// worker re-claims it instantly, without waiting out the TTL) and returns
+/// cleanly with whatever it completed.
 pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
     // A spawned worker process inherits the coordinator's `--profile`
     // through the environment; in-process thread workers already share the
@@ -633,6 +686,9 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
     'scan: loop {
         let mut progressed = false;
         for shard in 0..manifest.shard_count {
+            if shutdown_requested() {
+                break 'scan;
+            }
             if cfg
                 .max_shards
                 .is_some_and(|limit| outcome.shards_completed >= limit)
@@ -643,7 +699,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
                 continue;
             }
             progressed = true;
-            run_shard(
+            let completed = run_shard(
                 &layout,
                 &manifest,
                 shard,
@@ -652,6 +708,11 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
                 &mut store,
                 &mut outcome,
             )?;
+            if !completed {
+                // Shutdown interrupted the shard: hand it straight back.
+                release_lease(&layout, shard)?;
+                break 'scan;
+            }
             refresh_lease(&layout, shard, &me)?;
             let summary = format!(
                 "{{\"worker\":{:?},\"pid\":{},\"jobs\":{}}}",
@@ -669,12 +730,17 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, DistribError> {
             break;
         }
     }
+    // Dropping the store flushes the collector; nothing held back.  Any
+    // shard this worker completed keeps its done marker; anything else has
+    // no lease left to expire.
     Ok(outcome)
 }
 
 /// Run one claimed shard: reuse the worker's own valid records (and respect
 /// its standing quarantines), fan the rest out through the single parallel
 /// layer, stream each fresh record — or [`JobFailure`] — as it settles.
+/// Returns `false` when a graceful shutdown skipped jobs, leaving the shard
+/// unfinished (the caller releases its lease instead of marking it done).
 fn run_shard(
     layout: &ShardLayout,
     manifest: &GridManifest,
@@ -683,7 +749,7 @@ fn run_shard(
     cfg: &WorkerConfig,
     store: &mut ExperimentStore,
     outcome: &mut WorkerOutcome,
-) -> Result<(), DistribError> {
+) -> Result<bool, DistribError> {
     let jobs = manifest.shard_jobs(shard);
     let total = jobs.len();
     let pending: Vec<&ManifestJob> = jobs
@@ -703,16 +769,20 @@ fn run_shard(
         .collect();
     outcome.jobs_reused += total - pending.len();
     if pending.is_empty() {
-        return Ok(());
+        return Ok(true);
     }
     // The worker's single parallel layer, drawing from the process budget
     // the coordinator allotted via RAYON_TOTAL_THREADS.  Fresh results
     // stream through the lock-free collector; IO errors surface when the
-    // collector drains.
-    let settled: Vec<Result<JobRecord, JobFailure>> = store.with_parallel_sink(|sink| {
+    // collector drains.  A job not yet started when shutdown is requested
+    // is skipped (`None`), never half-run.
+    let settled: Vec<Option<Result<JobRecord, JobFailure>>> = store.with_parallel_sink(|sink| {
         pending
             .par_iter()
             .map(|job| {
+                if shutdown_requested() {
+                    return None;
+                }
                 let settled = run_job_guarded(job, cfg.job_attempts, cfg.job_wall_budget);
                 match &settled {
                     Ok(record) => sink.append(record),
@@ -724,30 +794,34 @@ fn run_shard(
                 // Best-effort — a lost beat only risks duplicated work,
                 // never wrong results.
                 let _ = refresh_lease(layout, shard, me);
-                settled
+                Some(settled)
             })
             .collect()
     })?;
+    let mut completed = true;
     for settled in settled {
         match settled {
-            Ok(record) => {
+            Some(Ok(record)) => {
                 outcome.jobs_run += 1;
                 store.note_record(record);
             }
-            Err(failure) => {
+            Some(Err(failure)) => {
                 outcome.jobs_quarantined += 1;
                 store.note_failure(failure);
             }
+            None => completed = false,
         }
     }
-    Ok(())
+    Ok(completed)
 }
 
 /// Run one job under the quarantine guard: up to `attempts` tries, each
 /// wrapped in `catch_unwind` (and, with a budget, raced against the clock);
 /// a job that never settles cleanly becomes a [`JobFailure`] so the shard —
-/// and the grid — still completes.
-fn run_job_guarded(
+/// and the grid — still completes.  Shared with the socket-transport worker
+/// in [`crate::serve`], whose jobs arrive over the wire instead of from a
+/// manifest file.
+pub(crate) fn run_job_guarded(
     job: &ManifestJob,
     attempts: u32,
     wall_budget: Option<StdDuration>,
@@ -861,15 +935,36 @@ impl WorkerHandle {
     }
 }
 
-/// How the coordinator launches workers.
+/// Where a spawned worker should attach.
+///
+/// The file-based protocol hands workers a shard **directory** on a shared
+/// filesystem; the socket protocol hands them a service **endpoint** and
+/// needs no shared filesystem at all.  Spawners declare which targets they
+/// understand by accepting or rejecting them in [`WorkerSpawner::spawn`],
+/// so a transport mismatch is a typed error, never a silent misread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerTarget {
+    /// A shard directory containing a grid manifest (file transport).
+    Dir(PathBuf),
+    /// A `caem-serve` daemon address such as `127.0.0.1:7171` (socket
+    /// transport; workers connect instead of scanning a directory).
+    Endpoint(String),
+}
+
+/// The worker transport: how a coordinator (or the service daemon) brings
+/// workers to a grid.  Implementations: [`ProcessSpawner`] (separate
+/// processes — file or socket attach), [`ThreadSpawner`] (in-process
+/// threads over the file protocol) and the in-memory loopback in
+/// [`crate::serve`] (socket protocol semantics with no sockets, for
+/// deterministic tests).
 pub trait WorkerSpawner {
-    /// Launch worker `index` on the grid at `dir`.  `thread_budget` is the
+    /// Launch worker `index` against `target`.  `thread_budget` is the
     /// rayon thread share this worker should confine itself to (exported as
     /// `RAYON_TOTAL_THREADS` for process workers; in-process workers share
     /// the parent's budget, which already caps the total by construction).
     fn spawn(
         &self,
-        dir: &Path,
+        target: &WorkerTarget,
         index: usize,
         thread_budget: usize,
     ) -> Result<WorkerHandle, DistribError>;
@@ -904,17 +999,22 @@ impl ProcessSpawner {
 impl WorkerSpawner for ProcessSpawner {
     fn spawn(
         &self,
-        dir: &Path,
+        target: &WorkerTarget,
         index: usize,
         thread_budget: usize,
     ) -> Result<WorkerHandle, DistribError> {
-        let store = ShardLayout::new(dir).worker_store_path(&format!("{index:03}"));
-        let child = std::process::Command::new(&self.program)
-            .args(&self.base_args)
-            .arg("--worker-shard")
-            .arg(dir)
-            .arg("--store")
-            .arg(store)
+        let mut cmd = std::process::Command::new(&self.program);
+        cmd.args(&self.base_args);
+        match target {
+            WorkerTarget::Dir(dir) => {
+                let store = ShardLayout::new(dir).worker_store_path(&format!("{index:03}"));
+                cmd.arg("--worker-shard").arg(dir).arg("--store").arg(store);
+            }
+            WorkerTarget::Endpoint(addr) => {
+                cmd.arg("--connect").arg(addr);
+            }
+        }
+        let child = cmd
             .env("RAYON_TOTAL_THREADS", thread_budget.to_string())
             .envs(self.envs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .spawn()?;
@@ -940,7 +1040,7 @@ pub struct ThreadSpawner {
 impl Default for ThreadSpawner {
     fn default() -> Self {
         ThreadSpawner {
-            lease_ttl: StdDuration::from_secs(60),
+            lease_ttl: DEFAULT_LEASE_TTL,
             max_shards: None,
             fsync: false,
         }
@@ -950,13 +1050,22 @@ impl Default for ThreadSpawner {
 impl WorkerSpawner for ThreadSpawner {
     fn spawn(
         &self,
-        dir: &Path,
+        target: &WorkerTarget,
         index: usize,
         _thread_budget: usize,
     ) -> Result<WorkerHandle, DistribError> {
+        let dir = match target {
+            WorkerTarget::Dir(dir) => dir.clone(),
+            WorkerTarget::Endpoint(addr) => {
+                return Err(DistribError::Format(format!(
+                    "thread workers attach to shard directories, not endpoint {addr} \
+                     (use the serve loopback transport for in-process socket workers)"
+                )))
+            }
+        };
         let mut cfg = WorkerConfig::new(
-            dir.to_path_buf(),
-            ShardLayout::new(dir).worker_store_path(&format!("{index:03}")),
+            dir.clone(),
+            ShardLayout::new(&dir).worker_store_path(&format!("{index:03}")),
             format!("thread_{index:03}"),
         );
         cfg.lease_ttl = self.lease_ttl;
@@ -988,13 +1097,14 @@ pub struct DistribOptions {
 }
 
 impl DistribOptions {
-    /// Defaults for `workers` workers: 4 shards per worker, 60 s TTL,
-    /// resume semantics (`fresh = false`), no per-append fsync.
+    /// Defaults for `workers` workers: 4 shards per worker, the default
+    /// lease TTL ([`DEFAULT_LEASE_TTL`]), resume semantics (`fresh =
+    /// false`), no per-append fsync.
     pub fn new(workers: usize) -> Self {
         DistribOptions {
             workers,
             shards_per_worker: 4,
-            lease_ttl: StdDuration::from_secs(60),
+            lease_ttl: DEFAULT_LEASE_TTL,
             fresh: false,
             fsync: false,
         }
@@ -1038,36 +1148,53 @@ pub fn collect_grid_outcome(
     manifest: &GridManifest,
     store_paths: &[PathBuf],
 ) -> Result<GridOutcome, DistribError> {
-    let filter = manifest.record_filter();
-    let mut outcome = GridOutcome::default();
-    let mut failures: HashMap<JobKey, JobFailure> = HashMap::new();
-    let mut foreign = 0usize;
+    let mut records = Vec::new();
+    let mut failures = Vec::new();
     for path in store_paths {
         let store = ExperimentStore::load(path)?;
-        for record in store.records() {
-            match filter.get(&record.key()) {
-                Some(&(hash, label)) if record.config_hash == hash && record.scenario == label => {
-                    outcome.records.push(record.clone());
-                }
-                _ => foreign += 1,
+        records.extend(store.records().iter().cloned());
+        failures.extend(store.failures().iter().cloned());
+    }
+    Ok(merge_outcome(manifest, records, failures))
+}
+
+/// The transport-independent core of [`collect_grid_outcome`]: merge
+/// already-loaded records and failures against `manifest`'s validity filter
+/// (matching key, config hash and scenario label), drop quarantines that
+/// any success record supersedes, and sort the survivors canonically.  The
+/// service daemon feeds this with records that arrived over sockets instead
+/// of from files — the merge semantics (and therefore the report bytes) are
+/// identical by construction.
+pub fn merge_outcome(
+    manifest: &GridManifest,
+    records: Vec<JobRecord>,
+    failures: Vec<JobFailure>,
+) -> GridOutcome {
+    let filter = manifest.record_filter();
+    let mut outcome = GridOutcome::default();
+    let mut standing: HashMap<JobKey, JobFailure> = HashMap::new();
+    let mut foreign = 0usize;
+    for record in records {
+        match filter.get(&record.key()) {
+            Some(&(hash, label)) if record.config_hash == hash && record.scenario == label => {
+                outcome.records.push(record);
             }
+            _ => foreign += 1,
         }
-        for failure in store.failures() {
-            match filter.get(&failure.key()) {
-                Some(&(hash, label))
-                    if failure.config_hash == hash && failure.scenario == label =>
-                {
-                    failures.insert(failure.key(), failure.clone());
-                }
-                _ => foreign += 1,
+    }
+    for failure in failures {
+        match filter.get(&failure.key()) {
+            Some(&(hash, label)) if failure.config_hash == hash && failure.scenario == label => {
+                standing.insert(failure.key(), failure);
             }
+            _ => foreign += 1,
         }
     }
     // Success beats failure: a quarantine only stands while no worker ever
     // completed the job.
     let completed: std::collections::HashSet<JobKey> =
         outcome.records.iter().map(JobRecord::key).collect();
-    outcome.failures = failures
+    outcome.failures = standing
         .into_values()
         .filter(|f| !completed.contains(&f.key()))
         .collect();
@@ -1076,7 +1203,7 @@ pub fn collect_grid_outcome(
         faults::note_events(RunEvent::ForeignRecordIgnored, foreign as u64);
         eprintln!("warning: ignored {foreign} persisted records that do not belong to this grid");
     }
-    Ok(outcome)
+    outcome
 }
 
 /// Merge a completed grid directory into its canonical report (no spec
@@ -1176,8 +1303,9 @@ impl ExperimentSpec {
         };
 
         let budget = rayon::split_thread_budget(opts.workers);
+        let target = WorkerTarget::Dir(dir.to_path_buf());
         let handles: Vec<WorkerHandle> = (0..opts.workers)
-            .map(|i| spawner.spawn(dir, i, budget))
+            .map(|i| spawner.spawn(&target, i, budget))
             .collect::<Result<_, _>>()?;
         for handle in handles {
             if let Err(why) = handle.join() {
@@ -1444,6 +1572,69 @@ mod tests {
             try_claim_shard(&layout, 1, &me, StdDuration::from_millis(10)).unwrap(),
             ClaimOutcome::Claimed,
             "an expired lease is stolen"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn released_lease_is_reclaimed_instantly() {
+        let dir = temp_grid("release");
+        let layout = ShardLayout::new(&dir);
+        layout.create_dirs().unwrap();
+        let ttl = StdDuration::from_secs(3600);
+        let a = ShardLease::current("a");
+        let b = ShardLease::current("b");
+        assert_eq!(
+            try_claim_shard(&layout, 0, &a, ttl).unwrap(),
+            ClaimOutcome::Claimed
+        );
+        assert_eq!(
+            try_claim_shard(&layout, 0, &b, ttl).unwrap(),
+            ClaimOutcome::Busy
+        );
+        // Graceful shutdown releases the lease outright: worker b's very
+        // next claim succeeds, hours before the TTL could have expired.
+        release_lease(&layout, 0).unwrap();
+        assert_eq!(
+            try_claim_shard(&layout, 0, &b, ttl).unwrap(),
+            ClaimOutcome::Claimed,
+            "a released shard is re-claimed with no TTL wait"
+        );
+        // Releasing an already-released lease is a no-op, not an error.
+        release_lease(&layout, 1).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_skips_pending_jobs_and_releases_the_shard() {
+        let spec = tiny_spec();
+        let dir = temp_grid("shutdown");
+        let layout = ShardLayout::new(&dir);
+        layout.create_dirs().unwrap();
+        let manifest = GridManifest::from_spec(&spec, 1);
+        manifest.write(&layout).unwrap();
+        let ttl = StdDuration::from_secs(3600);
+        let me = ShardLease::current("quitter");
+        assert_eq!(
+            try_claim_shard(&layout, 0, &me, ttl).unwrap(),
+            ClaimOutcome::Claimed
+        );
+        let cfg = WorkerConfig::new(&dir, layout.worker_store_path("quitter"), "quitter");
+        let mut store =
+            ExperimentStore::open_with(&cfg.store_path, StoreOptions { fsync: false }).unwrap();
+        request_shutdown();
+        let mut outcome = WorkerOutcome::default();
+        let completed =
+            run_shard(&layout, &manifest, 0, &me, &cfg, &mut store, &mut outcome).unwrap();
+        reset_shutdown();
+        assert!(!completed, "shutdown leaves the shard unfinished");
+        assert_eq!(outcome.jobs_run, 0, "no job started after the request");
+        release_lease(&layout, 0).unwrap();
+        let successor = ShardLease::current("successor");
+        assert_eq!(
+            try_claim_shard(&layout, 0, &successor, ttl).unwrap(),
+            ClaimOutcome::Claimed,
+            "the released shard is claimable immediately"
         );
         fs::remove_dir_all(&dir).ok();
     }

@@ -202,10 +202,14 @@ pub enum RunEvent {
     WorkerAbnormalExit,
     /// The active [`FaultPlan`] injected a fault.
     FaultInjected,
+    /// The service daemon evicted a silent worker whose lease TTL expired.
+    WorkerEvicted,
+    /// A protocol frame was dropped, truncated or rejected and re-sent.
+    FrameRetried,
 }
 
 /// Every [`RunEvent`] variant, in counter order.
-pub const RUN_EVENTS: [RunEvent; 8] = [
+pub const RUN_EVENTS: [RunEvent; 10] = [
     RunEvent::TornLineSkipped,
     RunEvent::ForeignRecordIgnored,
     RunEvent::LeaseStolen,
@@ -214,6 +218,8 @@ pub const RUN_EVENTS: [RunEvent; 8] = [
     RunEvent::JobQuarantined,
     RunEvent::WorkerAbnormalExit,
     RunEvent::FaultInjected,
+    RunEvent::WorkerEvicted,
+    RunEvent::FrameRetried,
 ];
 
 impl RunEvent {
@@ -235,6 +241,8 @@ impl RunEvent {
             RunEvent::JobQuarantined => "jobs quarantined",
             RunEvent::WorkerAbnormalExit => "abnormal worker exits",
             RunEvent::FaultInjected => "faults injected",
+            RunEvent::WorkerEvicted => "stale workers evicted",
+            RunEvent::FrameRetried => "frames retried",
         }
     }
 }
@@ -611,6 +619,36 @@ impl FaultPlan {
         }
     }
 
+    /// Frame-level fault decision for the in-memory loopback transport:
+    /// the N-th frame sent through a faulted link is dropped, duplicated,
+    /// delayed or truncated deterministically per seed.  Reuses the chaos
+    /// vocabulary: `torn` truncates frames (the decoder must reject them
+    /// with a typed error), `transient` drops or duplicates them (the
+    /// sender's retention/resend and the merge's dedupe must absorb both),
+    /// and `delay` stalls delivery, widening race windows.
+    ///
+    /// The TCP transport never consults this: truncating a length-prefixed
+    /// byte stream would desynchronise every later frame, turning one
+    /// injected fault into an unrecoverable connection error.
+    pub fn frame_fault(&self) -> Option<FrameFault> {
+        if self.has(FaultKind::Torn) && self.draw().is_multiple_of(7) {
+            return Some(FrameFault::Truncate);
+        }
+        if self.has(FaultKind::Transient) && self.draw().is_multiple_of(6) {
+            return Some(if self.draw().is_multiple_of(2) {
+                FrameFault::Drop
+            } else {
+                FrameFault::Duplicate
+            });
+        }
+        if self.has(FaultKind::Delay) && self.draw().is_multiple_of(5) {
+            return Some(FrameFault::Delay(StdDuration::from_millis(
+                1 + self.draw() % 5,
+            )));
+        }
+        None
+    }
+
     /// Whether the plan poisons the job at `key`: a deterministic ~1/16
     /// subset of the grid, stable across processes and runs of the same
     /// seed (so a retried poison job fails again and is quarantined).
@@ -627,6 +665,21 @@ impl FaultPlan {
         }
         hash.is_multiple_of(16)
     }
+}
+
+/// An injected frame-level fault on the loopback worker transport (see
+/// [`FaultPlan::frame_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// The frame is silently lost; the sender must retain and resend.
+    Drop,
+    /// The frame is delivered twice; the receiver's merge must dedupe.
+    Duplicate,
+    /// Delivery is stalled by the given duration.
+    Delay(StdDuration),
+    /// The frame arrives with its tail cut off; decoding must fail with a
+    /// typed error, never a panic.
+    Truncate,
 }
 
 /// The chaos wrapper: [`RealIo`] plus a [`FaultPlan`] deciding, per

@@ -64,6 +64,7 @@ pub mod node;
 pub mod persist;
 pub mod result;
 pub mod runner;
+pub mod serve;
 pub mod spec;
 pub mod sweep;
 pub mod table;
@@ -73,8 +74,9 @@ pub use config::{
     ChurnConfig, ConfigError, ScenarioConfig, Topology, TrafficModel, TrafficProfile,
 };
 pub use distrib::{
-    merge_grid_report, run_sequential_distributed, run_worker, DistribError, DistribOptions,
-    GridManifest, ProcessSpawner, ShardLayout, ThreadSpawner, WorkerConfig, WorkerSpawner,
+    merge_grid_report, merge_outcome, request_shutdown, reset_shutdown, run_sequential_distributed,
+    run_worker, shutdown_requested, DistribError, DistribOptions, GridManifest, ProcessSpawner,
+    ShardLayout, ThreadSpawner, WorkerConfig, WorkerSpawner, WorkerTarget,
 };
 pub use experiment::{
     run_configs, ExperimentCell, ExperimentJob, ExperimentReport, ExperimentSpec, ScenarioSpec,
@@ -89,6 +91,10 @@ pub use persist::{
 };
 pub use result::{NodeSummary, SimulationResult};
 pub use runner::SimulationRun;
-pub use spec::{GridSpec, ResolvedGrid, ResolvedSpec};
+pub use serve::{
+    run_socket_worker, serve_connection, LoopbackSpawner, ServiceClient, ServiceConfig,
+    ServiceState, SocketWorkerOptions, TcpLink, WorkerExit,
+};
+pub use spec::{DistribSpec, DistribTuning, GridSpec, ResolvedGrid, ResolvedSpec};
 pub use sweep::{compare_policies, load_sweep, load_sweep_spec, LoadSweepPoint, PolicyComparison};
 pub use table::NodeTable;

@@ -692,6 +692,38 @@ pub(crate) fn dedupe_last_wins<I: IntoIterator<Item = JobRecord>>(records: I) ->
     deduped
 }
 
+/// One decoded store line: a success record or a quarantine.
+pub(crate) enum DecodedLine {
+    /// A completed job's [`JobRecord`].
+    Record(JobRecord),
+    /// A quarantined job's [`JobFailure`].
+    Failure(JobFailure),
+}
+
+/// Decode one JSONL store line (the inverse of [`encode_line`] /
+/// [`encode_failure_line`], routing on the `caem_job_failure` marker exactly
+/// like [`ExperimentStore::load`]).  The service daemon uses this to decode
+/// record batches that arrived over a socket instead of from a file.
+pub(crate) fn decode_line(text: &str) -> Result<DecodedLine, StoreError> {
+    let value = serde_json::parse(text)
+        .map_err(|e| StoreError::Format(format!("unparseable record line ({e})")))?;
+    if value.get("caem_job_failure").is_some() {
+        let line: FailureLine = serde_json::from_value(value)
+            .map_err(|e| StoreError::Format(format!("undecodable failure record ({e})")))?;
+        return Ok(DecodedLine::Failure(line.into()));
+    }
+    let record: JobRecord = serde_json::from_value(value)
+        .map_err(|e| StoreError::Format(format!("undecodable record ({e})")))?;
+    if record.metrics.len() != METRIC_NAMES.len() {
+        return Err(StoreError::Format(format!(
+            "record with {} metric slots (expected {})",
+            record.metrics.len(),
+            METRIC_NAMES.len()
+        )));
+    }
+    Ok(DecodedLine::Record(record))
+}
+
 /// Serialize `value` as one newline-terminated JSONL line.
 pub(crate) fn encode_line<T: Serialize>(value: &T) -> Result<Vec<u8>, StoreError> {
     let mut line = Vec::with_capacity(256);

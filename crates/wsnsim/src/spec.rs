@@ -291,6 +291,38 @@ impl GridQuick {
     }
 }
 
+/// Distributed-run tuning as a spec document writes it: the shard-lease
+/// TTL and worker heartbeat interval that used to be hard-coded constants
+/// in the distribution layer.  Both optional; [`GridSpec::resolve`] fills
+/// in the layer defaults ([`crate::distrib::DEFAULT_LEASE_TTL`],
+/// [`crate::distrib::DEFAULT_HEARTBEAT`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistribSpec {
+    /// Shard-lease TTL in seconds before an unrefreshed claim may be
+    /// stolen (strictly positive).
+    pub lease_ttl_s: Option<f64>,
+    /// Socket-worker heartbeat interval in seconds (strictly positive).
+    pub heartbeat_s: Option<f64>,
+}
+
+/// Resolved distributed-run tuning: [`DistribSpec`] with defaults applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistribTuning {
+    /// Shard-lease TTL before an unrefreshed claim may be stolen.
+    pub lease_ttl: std::time::Duration,
+    /// Socket-worker heartbeat interval.
+    pub heartbeat: std::time::Duration,
+}
+
+impl Default for DistribTuning {
+    fn default() -> Self {
+        DistribTuning {
+            lease_ttl: crate::distrib::DEFAULT_LEASE_TTL,
+            heartbeat: crate::distrib::DEFAULT_HEARTBEAT,
+        }
+    }
+}
+
 /// Sequential-stopping settings as a spec document writes them; resolved
 /// into a [`SequentialStopping`] with the grid's replicate batch as the
 /// default batch size.
@@ -342,6 +374,8 @@ pub struct GridSpec {
     pub scenarios: Vec<ScenarioSpecDoc>,
     /// Optional sequential-stopping settings.
     pub sequential: Option<SequentialSpec>,
+    /// Optional distributed-run tuning (lease TTL, heartbeat interval).
+    pub distrib: Option<DistribSpec>,
     /// Grid-level quick-mode overrides.
     pub quick: GridQuick,
 }
@@ -506,6 +540,10 @@ impl GridSpec {
             Some(v) => Some(parse_sequential(v)?),
             None => None,
         };
+        let distrib = match doc.take("distrib")? {
+            Some(v) => Some(parse_distrib(v)?),
+            None => None,
+        };
         let scenarios = match doc.required("scenarios")? {
             Value::Seq(items) => {
                 if items.is_empty() {
@@ -543,6 +581,7 @@ impl GridSpec {
             policies,
             scenarios,
             sequential,
+            distrib,
             quick,
         })
     }
@@ -587,6 +626,33 @@ fn parse_sequential(value: &Value) -> Result<SequentialSpec, ConfigError> {
         target_half_width,
         batch,
         max_replicates,
+    })
+}
+
+fn parse_distrib(value: &Value) -> Result<DistribSpec, ConfigError> {
+    let mut f = Fields::new("distrib", value)?;
+    let lease_ttl_s = f.opt_f64("lease_ttl_s")?;
+    if let Some(v) = lease_ttl_s {
+        if v <= 0.0 {
+            return Err(ConfigError::NonPositive {
+                path: "distrib.lease_ttl_s".to_string(),
+                value: v,
+            });
+        }
+    }
+    let heartbeat_s = f.opt_f64("heartbeat_s")?;
+    if let Some(v) = heartbeat_s {
+        if v <= 0.0 {
+            return Err(ConfigError::NonPositive {
+                path: "distrib.heartbeat_s".to_string(),
+                value: v,
+            });
+        }
+    }
+    f.finish()?;
+    Ok(DistribSpec {
+        lease_ttl_s,
+        heartbeat_s,
     })
 }
 
@@ -886,6 +952,16 @@ impl GridSpec {
             s.push(("max_replicates", Value::UInt(seq.max_replicates as u64)));
             entries.push(("sequential", map(s)));
         }
+        if let Some(d) = &self.distrib {
+            let mut v: Vec<(&str, Value)> = Vec::new();
+            if let Some(ttl) = d.lease_ttl_s {
+                v.push(("lease_ttl_s", Value::Float(ttl)));
+            }
+            if let Some(hb) = d.heartbeat_s {
+                v.push(("heartbeat_s", Value::Float(hb)));
+            }
+            entries.push(("distrib", map(v)));
+        }
         entries.push((
             "scenarios",
             Value::Seq(self.scenarios.iter().map(scenario_to_value).collect()),
@@ -982,6 +1058,11 @@ pub struct ResolvedGrid {
     /// The document's sequential-stopping rule, batch defaulted to the
     /// grid's replicate count.
     pub sequential: Option<SequentialStopping>,
+    /// Lease/heartbeat tuning for distributed runs, defaulted from
+    /// [`crate::distrib::DEFAULT_LEASE_TTL`] / [`DEFAULT_HEARTBEAT`].
+    ///
+    /// [`DEFAULT_HEARTBEAT`]: crate::distrib::DEFAULT_HEARTBEAT
+    pub distrib: DistribTuning,
 }
 
 impl GridSpec {
@@ -1033,6 +1114,20 @@ impl GridSpec {
                 });
             }
         }
+        let distrib = DistribTuning {
+            lease_ttl: self
+                .distrib
+                .as_ref()
+                .and_then(|d| d.lease_ttl_s)
+                .map(std::time::Duration::from_secs_f64)
+                .unwrap_or(crate::distrib::DEFAULT_LEASE_TTL),
+            heartbeat: self
+                .distrib
+                .as_ref()
+                .and_then(|d| d.heartbeat_s)
+                .map(std::time::Duration::from_secs_f64)
+                .unwrap_or(crate::distrib::DEFAULT_HEARTBEAT),
+        };
         Ok(ResolvedGrid {
             spec: ExperimentSpec {
                 scenarios,
@@ -1040,6 +1135,7 @@ impl GridSpec {
                 seeds,
             },
             sequential,
+            distrib,
         })
     }
 
